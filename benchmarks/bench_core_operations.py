@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the core primitives (not tied to one paper figure).
+
+These time the building blocks whose costs the paper's complexity analysis
+talks about: triangle counting / truss decomposition (O(rho * m)), truss-index
+construction, FindG0, one k-truss maintenance cascade, and one end-to-end
+query per algorithm on the facebook-like stand-in.  Useful for tracking
+performance regressions of the library itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctc.basic import BasicCTC
+from repro.ctc.bulk_delete import BulkDeleteCTC
+from repro.ctc.local import LocalCTC
+from repro.datasets.queries import QueryWorkloadGenerator
+from repro.datasets.registry import load_dataset
+from repro.graph.triangles import all_edge_supports
+from repro.trusses.decomposition import truss_decomposition
+from repro.trusses.extraction import find_maximal_connected_truss
+from repro.trusses.index import TrussIndex
+from repro.trusses.maintenance import KTrussMaintainer
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load_dataset("facebook-like")
+
+
+@pytest.fixture(scope="module")
+def index(network):
+    return TrussIndex(network.graph)
+
+
+@pytest.fixture(scope="module")
+def query(network):
+    generator = QueryWorkloadGenerator(network.graph, seed=1)
+    return generator.random_queries(3, 1)[0]
+
+
+def test_bench_edge_supports(benchmark, network):
+    supports = benchmark(all_edge_supports, network.graph)
+    assert len(supports) == network.graph.number_of_edges()
+
+
+def test_bench_truss_decomposition(benchmark, network):
+    trussness = benchmark(truss_decomposition, network.graph)
+    assert max(trussness.values()) >= 4
+
+
+def test_bench_index_construction(benchmark, network):
+    built = benchmark(TrussIndex, network.graph)
+    assert built.max_trussness() >= 4
+
+
+def test_bench_find_g0(benchmark, index, query):
+    community, k = benchmark(find_maximal_connected_truss, index, query)
+    assert k >= 2
+    assert community.number_of_nodes() >= len(set(query))
+
+
+def test_bench_maintenance_cascade(benchmark, index, query):
+    community, k = find_maximal_connected_truss(index, query)
+    victim = max(community.nodes(), key=lambda node: (community.degree(node), repr(node)))
+
+    def cascade():
+        maintainer = KTrussMaintainer(community, k)
+        return maintainer.delete_vertex(victim)
+
+    removed_vertices, _removed_edges = benchmark(cascade)
+    assert victim in removed_vertices
+
+
+def test_bench_basic_query(benchmark, index, query):
+    result = benchmark.pedantic(
+        BasicCTC(index).search, args=(query,), rounds=1, iterations=1
+    )
+    assert result.contains_query()
+
+
+def test_bench_bulk_delete_query(benchmark, index, query):
+    result = benchmark.pedantic(
+        BulkDeleteCTC(index).search, args=(query,), rounds=1, iterations=1
+    )
+    assert result.contains_query()
+
+
+def test_bench_lctc_query(benchmark, index, query):
+    result = benchmark.pedantic(
+        LocalCTC(index, eta=200).search, args=(query,), rounds=1, iterations=1
+    )
+    assert result.contains_query()

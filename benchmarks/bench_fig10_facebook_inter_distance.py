@@ -1,0 +1,33 @@
+"""Figure 10 — Facebook, varying the inter-distance l of the query nodes.
+
+Paper shape: same panels as Figure 9 on the small dense network with Basic
+included.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, mean_of, run_once
+
+from repro.experiments.figures import vary_inter_distance
+from repro.experiments.reporting import format_table
+
+
+def test_fig10_facebook_vary_inter_distance(benchmark):
+    rows = run_once(
+        benchmark,
+        vary_inter_distance,
+        "facebook-like",
+        BENCH_CONFIG,
+        ("basic", "bulk-delete", "lctc"),
+    )
+    print()
+    print(
+        format_table(rows, title="Figure 10 (reproduced): facebook-like, varying inter-distance l")
+    )
+
+    assert rows
+    for method in ("basic", "bulk-delete", "lctc"):
+        assert mean_of(rows, "percentage", method=method) <= 100.0
+    # The CTC communities stay at least as dense as the Truss baseline.
+    truss_density = mean_of(rows, "density", method="truss")
+    assert mean_of(rows, "density", method="basic") >= truss_density - 0.05

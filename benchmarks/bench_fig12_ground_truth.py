@@ -1,0 +1,41 @@
+"""Figure 12 — quality on networks with ground-truth communities.
+
+Paper shape: (a) LCTC achieves the highest F1 on most networks, QDC second,
+MDC worst; (b) LCTC runs much faster than MDC/QDC and close to Truss; (c) the
+communities LCTC returns are much smaller (nodes and edges) than the raw
+Truss output.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, mean_of, run_once
+
+from repro.experiments.figures import ground_truth_quality
+from repro.experiments.reporting import format_table
+
+DATASETS = ("amazon-like", "dblp-like", "youtube-like", "lj-like", "orkut-like")
+METHODS = ("mdc", "qdc", "truss", "lctc")
+
+
+def test_fig12_ground_truth_quality(benchmark):
+    rows = run_once(benchmark, ground_truth_quality, DATASETS, BENCH_CONFIG, METHODS)
+    print()
+    print(format_table(rows, title="Figure 12 (reproduced): quality against ground truth"))
+
+    assert {row["dataset"] for row in rows} == set(DATASETS)
+    assert {row["method"] for row in rows} == set(METHODS)
+    # (a) LCTC's mean F1 across networks is at least the Truss baseline's
+    # (free-rider removal pays off) and competitive with the strongest
+    # baseline.  On the scaled-down stand-ins MDC/QDC profit from the compact
+    # planted communities, so "competitive" is asserted with a tolerance
+    # rather than strict dominance (see EXPERIMENTS.md).
+    lctc_f1 = mean_of(rows, "f1", method="lctc")
+    assert lctc_f1 >= mean_of(rows, "f1", method="truss") - 0.05
+    assert lctc_f1 >= mean_of(rows, "f1", method="mdc") - 0.15
+    assert lctc_f1 >= mean_of(rows, "f1", method="qdc") - 0.15
+    assert lctc_f1 >= 0.5
+    # (c) LCTC communities are no larger than the Truss communities.
+    assert mean_of(rows, "nodes", method="lctc") <= mean_of(rows, "nodes", method="truss") + 1e-9
+    assert mean_of(rows, "edges", method="lctc") <= mean_of(rows, "edges", method="truss") + 1e-9
+    # All F1 scores are valid probabilities.
+    assert all(0.0 <= row["f1"] <= 1.0 for row in rows if row["f1"] == row["f1"])

@@ -1,0 +1,38 @@
+"""Figure 13 — diameter and trussness approximation versus the inter-distance l.
+
+Paper shape: the diameters of the communities found by Basic/BD/LCTC all lie
+between the LB-OPT and UB-OPT curves (and close to LB-OPT); Basic and BD find
+the maximum trussness and LCTC tracks them closely.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, mean_of, run_once
+
+from repro.experiments.figures import approximation_quality
+from repro.experiments.reporting import format_table
+
+METHODS = ("basic", "bulk-delete", "lctc")
+
+
+def test_fig13_diameter_and_trussness(benchmark):
+    rows = run_once(benchmark, approximation_quality, "facebook-like", BENCH_CONFIG, METHODS)
+    print()
+    print(
+        format_table(
+            rows, title="Figure 13 (reproduced): diameter/trussness approximation, facebook-like"
+        )
+    )
+
+    reported_methods = {row["method"] for row in rows}
+    assert {"basic", "bulk-delete", "lctc", "lb-opt", "ub-opt"} <= reported_methods
+    lb = mean_of(rows, "diameter", method="lb-opt")
+    ub = mean_of(rows, "diameter", method="ub-opt")
+    assert ub >= lb
+    # Basic's diameter respects the 2-approximation bracket on average.
+    basic_diameter = mean_of(rows, "diameter", method="basic")
+    assert basic_diameter <= ub + 1e-9
+    # Trussness: BD matches Basic exactly (same G0); LCTC is close (Figure 13b).
+    basic_trussness = mean_of(rows, "trussness", method="basic")
+    assert mean_of(rows, "trussness", method="bulk-delete") == basic_trussness
+    assert mean_of(rows, "trussness", method="lctc") >= basic_trussness * 0.6

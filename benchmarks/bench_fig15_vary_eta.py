@@ -1,0 +1,29 @@
+"""Figure 15 — LCTC sensitivity to the expansion budget eta.
+
+Paper shape: the community size grows with eta up to a point and then
+plateaus; F1 and query time stay essentially stable, which is why eta = 1000
+is a safe default.  (Eta values are scaled to the stand-in network sizes.)
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.figures import vary_eta
+from repro.experiments.reporting import format_table
+
+
+def test_fig15_vary_eta(benchmark):
+    rows = run_once(benchmark, vary_eta, "dblp-like", BENCH_CONFIG)
+    print()
+    print(format_table(rows, title="Figure 15 (reproduced): LCTC sensitivity to eta"))
+
+    etas = [row["eta"] for row in rows]
+    assert etas == sorted(etas)
+    assert set(etas) == set(BENCH_CONFIG.eta_values)
+    # Community size is non-decreasing-ish and then stable: the largest eta
+    # never yields a smaller community than the smallest eta.
+    assert rows[-1]["nodes"] >= rows[0]["nodes"] - 1e-9
+    # F1 stays a valid score at every eta and does not collapse for large eta.
+    assert all(0.0 <= row["f1"] <= 1.0 for row in rows)
+    assert rows[-1]["f1"] >= max(row["f1"] for row in rows) - 0.25

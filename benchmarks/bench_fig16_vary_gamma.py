@@ -1,0 +1,30 @@
+"""Figure 16 — LCTC sensitivity to the trussness-penalty weight gamma.
+
+Paper shape: larger gamma steers the Steiner seed toward higher-trussness
+edges, so the detected community (and its trussness) grows with gamma; F1
+first improves then dips slightly; runtime is flat.  gamma = 3 balances the
+two, which is the default.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.figures import vary_gamma
+from repro.experiments.reporting import format_table
+
+
+def test_fig16_vary_gamma(benchmark):
+    rows = run_once(benchmark, vary_gamma, "dblp-like", BENCH_CONFIG)
+    print()
+    print(format_table(rows, title="Figure 16 (reproduced): LCTC sensitivity to gamma"))
+
+    gammas = [row["gamma"] for row in rows]
+    assert gammas == sorted(gammas)
+    assert set(gammas) == set(BENCH_CONFIG.gamma_values)
+    assert all(0.0 <= row["f1"] <= 1.0 for row in rows)
+    # All sweeps succeed (no catastrophic failures at any gamma).
+    assert all(row["failures"] <= BENCH_CONFIG.ground_truth_queries // 2 for row in rows)
+    # Runtime stays in the same order of magnitude across gamma.
+    times = [row["time_s"] for row in rows if row["time_s"] == row["time_s"]]
+    assert max(times) <= 20 * max(min(times), 1e-3)

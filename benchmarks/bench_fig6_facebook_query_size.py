@@ -1,0 +1,37 @@
+"""Figure 6 — Facebook, varying the query size |Q|: time / FRE percentage / density.
+
+Paper shape: on the small Facebook network even Basic finishes; LCTC still
+wins on time and on free-rider removal, and all CTC methods return denser
+communities than the raw Truss output.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, mean_of, run_once
+
+from repro.experiments.figures import vary_query_size
+from repro.experiments.reporting import format_table
+
+
+def test_fig6_facebook_vary_query_size(benchmark):
+    rows = run_once(
+        benchmark,
+        vary_query_size,
+        "facebook-like",
+        BENCH_CONFIG,
+        ("basic", "bulk-delete", "lctc"),
+    )
+    print()
+    print(format_table(rows, title="Figure 6 (reproduced): facebook-like, varying |Q|"))
+
+    methods = {row["method"] for row in rows}
+    assert methods == {"basic", "bulk-delete", "lctc", "truss"}
+    # Basic (single-vertex peeling) is the slowest CTC method on average.
+    assert mean_of(rows, "time_s", method="basic") >= mean_of(rows, "time_s", method="lctc")
+    # All CTC methods keep at most 100% of the G0 nodes.
+    for method in ("basic", "bulk-delete", "lctc"):
+        assert mean_of(rows, "percentage", method=method) <= 100.0
+    # Densities are at least the Truss baseline's (free riders removed).
+    truss_density = mean_of(rows, "density", method="truss")
+    assert mean_of(rows, "density", method="basic") >= truss_density - 0.05
+    assert mean_of(rows, "density", method="lctc") >= truss_density - 0.05

@@ -1,0 +1,29 @@
+"""Figure 7 — DBLP, varying the degree rank of query nodes.
+
+Paper shape: the relative ordering of the methods (LCTC fastest, both CTC
+methods well under 100% retention with higher density) is stable across all
+five degree-rank buckets.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, mean_of, run_once
+
+from repro.experiments.figures import vary_degree_rank
+from repro.experiments.reporting import format_table
+
+
+def test_fig7_dblp_vary_degree_rank(benchmark):
+    rows = run_once(
+        benchmark, vary_degree_rank, "dblp-like", BENCH_CONFIG, ("bulk-delete", "lctc")
+    )
+    print()
+    print(format_table(rows, title="Figure 7 (reproduced): dblp-like, varying degree rank"))
+
+    assert {row["degree_rank"] for row in rows} == set(BENCH_CONFIG.degree_ranks)
+    assert mean_of(rows, "percentage", method="lctc") <= 100.0
+    assert mean_of(rows, "density", method="lctc") >= mean_of(rows, "density", method="truss") - 0.05
+    # Every bucket produced rows for every method.
+    for rank in BENCH_CONFIG.degree_ranks:
+        bucket_methods = {row["method"] for row in rows if row["degree_rank"] == rank}
+        assert bucket_methods == {"bulk-delete", "lctc", "truss"}

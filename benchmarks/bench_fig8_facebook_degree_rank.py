@@ -1,0 +1,34 @@
+"""Figure 8 — Facebook, varying the degree rank of query nodes.
+
+Paper shape: same panels as Figure 7 on the small dense network, with Basic
+included since it finishes there.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, mean_of, run_once
+
+from repro.experiments.figures import vary_degree_rank
+from repro.experiments.reporting import format_table
+
+
+def test_fig8_facebook_vary_degree_rank(benchmark):
+    rows = run_once(
+        benchmark,
+        vary_degree_rank,
+        "facebook-like",
+        BENCH_CONFIG,
+        ("basic", "bulk-delete", "lctc"),
+    )
+    print()
+    print(format_table(rows, title="Figure 8 (reproduced): facebook-like, varying degree rank"))
+
+    assert {row["degree_rank"] for row in rows} == set(BENCH_CONFIG.degree_ranks)
+    # CTC methods never keep more than the Truss reference.
+    for method in ("basic", "bulk-delete", "lctc"):
+        assert mean_of(rows, "percentage", method=method) <= 100.0
+    # Basic and BulkDelete work on the same global G0, so their community
+    # densities track each other closely.
+    basic_density = mean_of(rows, "density", method="basic")
+    bd_density = mean_of(rows, "density", method="bulk-delete")
+    assert abs(basic_density - bd_density) <= 0.5

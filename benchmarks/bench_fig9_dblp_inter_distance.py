@@ -1,0 +1,32 @@
+"""Figure 9 — DBLP, varying the inter-distance l of the query nodes.
+
+Paper shape: as l grows the discovered communities grow (the retention
+percentage increases), while the relative ordering of methods is unchanged.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, mean_of, run_once
+
+from repro.experiments.figures import vary_inter_distance
+from repro.experiments.reporting import format_table
+
+
+def test_fig9_dblp_vary_inter_distance(benchmark):
+    rows = run_once(
+        benchmark, vary_inter_distance, "dblp-like", BENCH_CONFIG, ("bulk-delete", "lctc")
+    )
+    print()
+    print(format_table(rows, title="Figure 9 (reproduced): dblp-like, varying inter-distance l"))
+
+    distances = sorted({row["inter_distance"] for row in rows})
+    assert distances  # at least some inter-distances could be realised
+    assert mean_of(rows, "percentage", method="lctc") <= 100.0
+    assert mean_of(rows, "density", method="lctc") >= mean_of(rows, "density", method="truss") - 0.05
+    # Every realised inter-distance reports a sensible retention percentage.
+    # (The paper observes the percentage *growing* with l on the real DBLP;
+    # on the small stand-in the opposite can happen because distant queries
+    # fall back to huge low-trussness G0s — recorded in EXPERIMENTS.md.)
+    for distance in distances:
+        value = mean_of(rows, "percentage", method="lctc", inter_distance=distance)
+        assert 0.0 < value <= 100.0

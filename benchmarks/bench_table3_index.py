@@ -1,0 +1,30 @@
+"""Table 3 — truss-index size and construction time.
+
+Paper: the simple truss index is ~1.6x the graph size and builds in seconds
+to hours depending on network size.  Here: entry-count ratio and build time
+for the stand-in networks; the shape to check is that the index stays a small
+constant factor of the graph (O(m) space) and that build time grows with m.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table3_index_statistics
+
+
+def test_table3_index_statistics(benchmark):
+    rows = run_once(benchmark, table3_index_statistics)
+    print()
+    print(format_table(rows, title="Table 3 (reproduced): truss index size and build time"))
+
+    assert len(rows) == 6
+    for row in rows:
+        # O(m) space: the index is a small constant factor of the graph.
+        assert 1.0 <= row["index_to_graph_ratio"] <= 3.0
+        assert row["index_time_s"] > 0
+    # Build time grows with graph size: the largest network is not the fastest.
+    largest = max(rows, key=lambda row: row["graph_entries"])
+    smallest = min(rows, key=lambda row: row["graph_entries"])
+    assert largest["index_time_s"] >= smallest["index_time_s"]

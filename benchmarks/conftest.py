@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md for the index).  Experiment drivers are expensive relative to
+micro-benchmarks, so each one is executed exactly once per session via
+``benchmark.pedantic`` and its reproduced rows are printed with ``-s`` (and
+always available through the returned value / assertions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: Scaled-down configuration used by all benchmarks (the paper uses 100
+#: queries per point and a one-hour timeout; see EXPERIMENTS.md).
+BENCH_CONFIG = ExperimentConfig(
+    queries_per_point=3,
+    ground_truth_queries=6,
+    lctc_eta=200,
+    eta_values=(25, 50, 100, 200, 400),
+    time_budget_seconds=30.0,
+    seed=2015,
+)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing and return its value."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_config() -> ExperimentConfig:
+    """The shared benchmark configuration."""
+    return BENCH_CONFIG
+
+
+def mean_of(rows, key, **filters) -> float:
+    """Mean of ``row[key]`` over the rows matching all ``filters`` (NaN-safe)."""
+    values = [
+        row[key]
+        for row in rows
+        if all(row.get(column) == wanted for column, wanted in filters.items())
+        and isinstance(row.get(key), (int, float))
+        and row[key] == row[key]
+    ]
+    return sum(values) / len(values) if values else float("nan")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: find the closest truss community in a small graph.
+
+This walks through the paper's running example (Figure 1): a 12-node graph
+with three dense 4-cliques, a handful of stitching edges, and one weakly
+attached node ``t``.  For the query ``{q1, q2, q3}`` the maximal connected
+4-truss contains three "free rider" nodes (p1, p2, p3) that are far from q1;
+the closest-truss-community algorithms remove them.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_index, search
+from repro.datasets import figure_1_graph, figure_1_query
+
+
+def main() -> None:
+    graph = figure_1_graph()
+    query = list(figure_1_query())
+    print(f"graph: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges")
+    print(f"query: {query}")
+    print()
+
+    # Build the truss index once; it can be reused for any number of queries.
+    index = build_index(graph)
+    print(f"truss index: max trussness = {index.max_trussness()}")
+    print()
+
+    for method in ("truss", "basic", "bulk-delete", "lctc"):
+        result = search(index, query, method=method, eta=50)
+        members = ", ".join(sorted(result.nodes, key=str))
+        print(f"[{method}]")
+        print(f"  trussness : {result.trussness}")
+        print(f"  nodes     : {result.num_nodes}  ({members})")
+        print(f"  diameter  : {result.diameter()}")
+        print(f"  density   : {result.density():.2f}")
+        print(f"  time      : {result.elapsed_seconds * 1000:.1f} ms")
+        print()
+
+    print(
+        "Note how 'truss' (the raw maximal connected 4-truss) keeps the free\n"
+        "riders p1, p2, p3 while 'basic' and 'lctc' return the tight 8-node\n"
+        "community of Figure 1(b) with diameter 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""The triangle-connected k-truss community model (Huang et al., SIGMOD 2014).
+
+This is the community-search model the paper builds on and contrasts with in
+its introduction (reference [17]): a *k-truss community* for a query node is
+a maximal k-truss in which every pair of edges is connected through a chain
+of triangles (each consecutive pair of edges shares a triangle).  Triangle
+connectivity is strictly stronger than connectivity, which is why — as the
+introduction points out with Q = {v4, q3, p1} on Figure 1 — the model can
+fail to return *any* community for multi-node queries even though a perfectly
+good connected k-truss exists.
+
+The implementation exists so the repository can demonstrate that limitation
+(and so downstream users can compare against the earlier model); it follows
+the original definition, not the original index structures.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Hashable, Sequence
+
+from repro.ctc.result import CommunityResult
+from repro.exceptions import NoCommunityFoundError
+from repro.graph.components import UnionFind
+from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.traversal import graph_query_distance
+from repro.trusses.decomposition import k_truss_subgraph
+from repro.trusses.extraction import validate_query
+from repro.trusses.index import TrussIndex
+
+__all__ = ["TriangleConnectedCommunity", "triangle_connected_classes"]
+
+EdgeKey = tuple[Hashable, Hashable]
+
+
+def triangle_connected_classes(truss: UndirectedGraph) -> list[set[EdgeKey]]:
+    """Partition the edges of a k-truss into triangle-connected classes.
+
+    Two edges are in the same class when they are linked by a chain of
+    triangles of ``truss`` in which consecutive triangles share an edge.
+    """
+    union_find = UnionFind(edge_key(u, v) for u, v in truss.edges())
+    for u, v in truss.edges():
+        for w in truss.common_neighbors(u, v):
+            union_find.union(edge_key(u, v), edge_key(u, w))
+            union_find.union(edge_key(u, v), edge_key(v, w))
+    return union_find.groups()
+
+
+class TriangleConnectedCommunity:
+    """Search for a triangle-connected k-truss community containing the query.
+
+    For the largest feasible ``k`` (starting from the minimum vertex trussness
+    of the query, as in Lemma 1), the maximal k-truss is partitioned into
+    triangle-connected classes; a class qualifies if every query node has an
+    incident edge in it.  If no class qualifies at any ``k >= 3`` the model
+    has no answer for this query — the limitation the CTC paper motivates
+    itself with.
+    """
+
+    method_name = "triangle-truss"
+
+    def __init__(self, index: TrussIndex) -> None:
+        self._index = index
+
+    def search(self, query: Sequence[Hashable]) -> CommunityResult:
+        """Return the triangle-connected community with the largest k, or raise.
+
+        Raises
+        ------
+        NoCommunityFoundError
+            If no triangle-connected k-truss (k >= 3) covers every query node.
+        """
+        start_time = time.perf_counter()
+        graph = self._index.graph
+        query_nodes = tuple(validate_query(graph, query))
+        upper_bound = min(self._index.vertex_trussness(node) for node in query_nodes)
+        trussness = self._index.all_edge_trussness()
+
+        for k in range(upper_bound, 2, -1):
+            truss = k_truss_subgraph(graph, k, trussness)
+            if any(not truss.has_node(node) for node in query_nodes):
+                continue
+            for edge_class in triangle_connected_classes(truss):
+                members: set[Hashable] = set()
+                for u, v in edge_class:
+                    members.add(u)
+                    members.add(v)
+                if all(node in members for node in query_nodes):
+                    community = UndirectedGraph()
+                    for u, v in edge_class:
+                        community.add_edge(u, v)
+                    return CommunityResult(
+                        graph=community,
+                        query=query_nodes,
+                        trussness=k,
+                        method=self.method_name,
+                        query_distance=graph_query_distance(community, query_nodes),
+                        elapsed_seconds=time.perf_counter() - start_time,
+                    )
+        raise NoCommunityFoundError(
+            "no triangle-connected k-truss (k >= 3) contains all query nodes "
+            f"{list(query_nodes)!r} — the limitation of the triangle-connected "
+            "model that motivates the CTC formulation"
+        )

@@ -1,0 +1,116 @@
+"""Command-line interface: ``ctc-search``.
+
+Two subcommands:
+
+* ``search`` — load a graph from an edge-list file, run one of the community
+  search methods for a set of query nodes, and print the community.
+* ``experiment`` — run one of the paper's experiment drivers (tables and
+  figures) on the built-in synthetic datasets and print the rows.
+
+Examples
+--------
+::
+
+    ctc-search search graph.txt --query q1 q2 q3 --method lctc
+    ctc-search experiment table2
+    ctc-search experiment fig12 --queries 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.ctc.api import available_methods, search
+from repro.experiments import figures, tables
+from repro.experiments.config import QUICK_CONFIG
+from repro.experiments.reporting import format_table
+from repro.graph.io import read_edge_list
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table2": lambda config: tables.table2_network_statistics(),
+    "table3": lambda config: tables.table3_index_statistics(),
+    "fig5": lambda config: figures.vary_query_size("dblp-like", config),
+    "fig6": lambda config: figures.vary_query_size("facebook-like", config),
+    "fig7": lambda config: figures.vary_degree_rank("dblp-like", config),
+    "fig8": lambda config: figures.vary_degree_rank("facebook-like", config),
+    "fig9": lambda config: figures.vary_inter_distance("dblp-like", config),
+    "fig10": lambda config: figures.vary_inter_distance("facebook-like", config),
+    "fig11": lambda config: figures.case_study(config),
+    "fig12": lambda config: figures.ground_truth_quality(config=config),
+    "fig13": lambda config: figures.approximation_quality(config=config),
+    "fig14": lambda config: figures.vary_trussness_k(config=config),
+    "fig15": lambda config: figures.vary_eta(config=config),
+    "fig16": lambda config: figures.vary_gamma(config=config),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ctc-search",
+        description="Closest Truss Community search (reproduction of Huang et al., VLDB 2015)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    search_parser = subparsers.add_parser("search", help="search a community in an edge-list graph")
+    search_parser.add_argument("graph", help="path to a whitespace-separated edge-list file")
+    search_parser.add_argument("--query", nargs="+", required=True, help="query node ids")
+    search_parser.add_argument(
+        "--method", default="lctc", choices=available_methods(), help="search algorithm"
+    )
+    search_parser.add_argument("--eta", type=int, default=1000, help="LCTC expansion budget")
+    search_parser.add_argument("--gamma", type=float, default=3.0, help="LCTC trussness penalty")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run one of the paper's tables/figures on the synthetic datasets"
+    )
+    experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS), help="experiment id")
+    experiment_parser.add_argument(
+        "--queries", type=int, default=None, help="override the per-point query count"
+    )
+    return parser
+
+
+def _run_search(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    result = search(graph, args.query, method=args.method, eta=args.eta, gamma=args.gamma)
+    print(f"method:        {result.method}")
+    print(f"trussness:     {result.trussness}")
+    print(f"nodes:         {result.num_nodes}")
+    print(f"edges:         {result.num_edges}")
+    print(f"density:       {result.density():.3f}")
+    print(f"diameter:      {result.diameter()}")
+    print(f"query distance:{result.query_distance}")
+    print("members:")
+    for node in sorted(result.nodes, key=repr):
+        print(f"  {node}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    config = QUICK_CONFIG
+    if args.queries is not None:
+        config = config.scaled(args.queries / max(1, config.queries_per_point))
+    rows = _EXPERIMENTS[args.name](config)
+    print(format_table(rows, title=f"Experiment {args.name}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "search":
+        return _run_search(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    parser.error("unknown command")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""The one-call public facade: :func:`search`.
+
+Most users want "give me the closest truss community for these query nodes"
+without wiring the index, algorithm class and parameters themselves.  The
+facade accepts a plain graph (or a prebuilt :class:`TrussIndex`), a query,
+and a method name, and dispatches to the right implementation:
+
+======================  ===========================================================
+``method``              algorithm
+======================  ===========================================================
+``"basic"``             Algorithm 1 — single-vertex peeling, 2-approximation
+``"bulk-delete"``       Algorithm 4 — bulk peeling, (2 + eps)-approximation
+``"lctc"``              Algorithm 5 — local exploration heuristic (default)
+``"truss"``             the maximal connected k-truss ``G0`` only (no shrinking)
+``"mdc"``               minimum-degree community search baseline
+``"qdc"``               query-biased densest subgraph baseline
+======================  ===========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.ctc.basic import BasicCTC
+from repro.ctc.bulk_delete import BulkDeleteCTC
+from repro.ctc.local import DEFAULT_ETA, DEFAULT_GAMMA, LocalCTC
+from repro.ctc.result import CommunityResult
+from repro.exceptions import ConfigurationError
+from repro.graph.simple_graph import UndirectedGraph
+from repro.trusses.index import TrussIndex
+
+__all__ = ["search", "available_methods", "build_index"]
+
+_CTC_METHODS = ("basic", "bulk-delete", "lctc", "truss")
+_BASELINE_METHODS = ("mdc", "qdc")
+
+
+def available_methods() -> tuple[str, ...]:
+    """Return the method names accepted by :func:`search`."""
+    return _CTC_METHODS + _BASELINE_METHODS
+
+
+def build_index(graph: UndirectedGraph) -> TrussIndex:
+    """Build (and return) a truss index for ``graph``.
+
+    Exposed so applications issuing many queries against the same graph can
+    pay the decomposition cost once, exactly as the paper assumes.
+    """
+    return TrussIndex(graph)
+
+
+def search(
+    graph: UndirectedGraph | TrussIndex,
+    query: Sequence[Hashable],
+    method: str = "lctc",
+    *,
+    eta: int = DEFAULT_ETA,
+    gamma: float = DEFAULT_GAMMA,
+    max_trussness_k: int | None = None,
+    time_budget_seconds: float | None = None,
+) -> CommunityResult:
+    """Find a community containing ``query`` in ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Either an :class:`UndirectedGraph` (an index is built on the fly) or
+        a prebuilt :class:`TrussIndex`.
+    query:
+        Non-empty sequence of query nodes; duplicates are ignored.
+    method:
+        One of :func:`available_methods`.
+    eta, gamma:
+        LCTC parameters (ignored by other methods).
+    max_trussness_k:
+        Optional cap on the trussness (the Figure 14 experiment); supported
+        by ``lctc``.
+    time_budget_seconds:
+        Optional wall-clock cap for the global methods (``basic``,
+        ``bulk-delete``), mirroring the paper's one-hour limit.
+
+    Returns
+    -------
+    CommunityResult
+        The community plus per-run statistics.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``method`` is unknown.
+    QueryError, NoCommunityFoundError
+        Propagated from the underlying algorithm when the query is invalid
+        or no community exists.
+    """
+    index = graph if isinstance(graph, TrussIndex) else TrussIndex(graph)
+
+    if method == "basic":
+        return BasicCTC(index, time_budget_seconds=time_budget_seconds).search(query)
+    if method == "bulk-delete":
+        return BulkDeleteCTC(index, time_budget_seconds=time_budget_seconds).search(query)
+    if method == "lctc":
+        searcher = LocalCTC(index, eta=eta, gamma=gamma, max_trussness_k=max_trussness_k)
+        return searcher.search(query)
+    if method == "truss":
+        from repro.baselines.truss_only import TrussOnly
+
+        return TrussOnly(index).search(query)
+    if method == "mdc":
+        from repro.baselines.mdc import MinimumDegreeCommunity
+
+        return MinimumDegreeCommunity(index.graph).search(query)
+    if method == "qdc":
+        from repro.baselines.qdc import QueryBiasedDensestCommunity
+
+        return QueryBiasedDensestCommunity(index.graph).search(query)
+    raise ConfigurationError(
+        f"unknown method {method!r}; expected one of {available_methods()}"
+    )

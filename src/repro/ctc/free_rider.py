@@ -1,0 +1,90 @@
+"""Free-rider-effect (FRE) analysis utilities.
+
+Section 3.2 of the paper defines the free rider effect: a community
+definition suffers from it when merging the found community ``H`` with some
+query-independent optimum ``H*`` does not hurt the goodness metric, i.e. the
+irrelevant nodes of ``H*`` ride along for free.
+
+For the experimental evaluation the paper measures FRE avoidance indirectly:
+the *percentage of nodes kept*, ``|V(R)| / |V(G0)|``, where ``R`` is the
+community a method returns and ``G0`` is the full maximal connected k-truss
+(the ``Truss`` baseline) — the smaller the percentage, the more free riders
+the method removed (Figures 5-10, "The percentage").  This module provides
+that measurement plus a direct FRE check following Definition 6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.graph.simple_graph import UndirectedGraph
+from repro.graph.components import is_connected
+from repro.graph.traversal import diameter
+
+__all__ = [
+    "retained_node_percentage",
+    "retained_edge_percentage",
+    "free_riders",
+    "suffers_free_rider_effect",
+]
+
+
+def retained_node_percentage(community: UndirectedGraph, reference: UndirectedGraph) -> float:
+    """Return ``100 * |V(community)| / |V(reference)|`` (the paper's "percentage").
+
+    ``reference`` is typically ``G0`` (the Truss baseline output).  An empty
+    reference yields 100.0 by convention.
+    """
+    reference_size = reference.number_of_nodes()
+    if reference_size == 0:
+        return 100.0
+    return 100.0 * community.number_of_nodes() / reference_size
+
+
+def retained_edge_percentage(community: UndirectedGraph, reference: UndirectedGraph) -> float:
+    """Return ``100 * |E(community)| / |E(reference)|``."""
+    reference_size = reference.number_of_edges()
+    if reference_size == 0:
+        return 100.0
+    return 100.0 * community.number_of_edges() / reference_size
+
+
+def free_riders(community: UndirectedGraph, reference: UndirectedGraph) -> set[Hashable]:
+    """Return the nodes of ``reference`` that the community excluded.
+
+    In the paper's terminology, when ``reference`` is the query-independent
+    (or merely larger) solution, these are the candidate "free riders" the
+    tighter community avoided.
+    """
+    return reference.node_set() - community.node_set()
+
+
+def suffers_free_rider_effect(
+    graph: UndirectedGraph,
+    community: UndirectedGraph,
+    query_independent_optimum: UndirectedGraph,
+    query: Sequence[Hashable],
+) -> bool:
+    """Check Definition 6 for the diameter goodness metric.
+
+    Returns ``True`` if merging the community with the query-independent
+    optimum yields a connected subgraph whose diameter is no larger than the
+    community's own diameter — i.e. the free riders could be absorbed "for
+    free" and the definition would not reject them.
+
+    The CTC model is expected to return ``False`` here for maximal solutions
+    (Proposition 1): either the union is disconnected or its diameter is
+    strictly larger.
+    """
+    community_nodes = community.node_set()
+    optimum_nodes = query_independent_optimum.node_set()
+    if optimum_nodes <= community_nodes:
+        # H* adds nothing; by convention the definition is not violated.
+        return False
+    union_nodes = community_nodes | optimum_nodes
+    union_graph = graph.subgraph(union_nodes)
+    if not is_connected(union_graph):
+        return False
+    if not all(union_graph.has_node(node) for node in query):
+        return False
+    return diameter(union_graph) <= diameter(community)

@@ -1,0 +1,90 @@
+"""Query-distance bookkeeping for the peeling algorithms.
+
+Algorithms 1 and 4 recompute, at every iteration, the vertex query distance
+``dist(v, Q)`` of every surviving vertex via one BFS per query node
+(Section 4.3, "Computing Query Distance").  This module packages that
+computation plus the selection rules the two algorithms use:
+
+* the single farthest vertex ``u* = argmax dist(v, Q)`` (Basic), and
+* the bulk candidate set ``L = {v : dist(v, Q) >= d - 1}`` (BulkDelete) or
+  ``L' = {v : dist(v, Q) >= d}`` (the LCTC shrinking variant).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.graph.simple_graph import UndirectedGraph
+from repro.graph.traversal import query_distances
+
+__all__ = [
+    "QueryDistanceSnapshot",
+    "compute_snapshot",
+]
+
+_INF = float("inf")
+
+
+class QueryDistanceSnapshot:
+    """Vertex query distances of one peeling iteration, with selection helpers."""
+
+    __slots__ = ("distances", "query")
+
+    def __init__(self, distances: dict[Hashable, float], query: Sequence[Hashable]) -> None:
+        self.distances = distances
+        self.query = tuple(query)
+
+    # ------------------------------------------------------------------
+    @property
+    def graph_query_distance(self) -> float:
+        """``dist(G, Q)``: the maximum vertex query distance."""
+        return max(self.distances.values()) if self.distances else 0.0
+
+    def farthest_vertex(self) -> Hashable | None:
+        """Return one vertex attaining the maximum query distance.
+
+        The paper's ``u* = argmax dist(u, Q)`` does not exclude query nodes
+        (deleting one simply ends the peeling at the next connectivity
+        check); ties are broken in favour of *non-query* vertices first and
+        then by ``repr`` so runs are deterministic and the algorithm peels as
+        long as the paper's would.  Returns ``None`` for an empty snapshot.
+        """
+        query_set = set(self.query)
+        best_node: Hashable | None = None
+        best_key: tuple[float, bool, str] | None = None
+        for node, distance in self.distances.items():
+            key = (distance, node not in query_set, repr(node))
+            if best_key is None or key > best_key:
+                best_key = key
+                best_node = node
+        return best_node
+
+    def vertices_at_least(self, threshold: float, exclude_query: bool = False) -> set[Hashable]:
+        """Return all vertices with query distance >= ``threshold``.
+
+        Algorithm 4's bulk set ``L = {u : dist(u, Q) >= d - 1}`` does include
+        query nodes when they qualify (Example 7 relies on this: removing
+        ``L`` there disconnects ``Q`` and the algorithm stops with ``G0``);
+        pass ``exclude_query=True`` for the softer variant.
+        """
+        query_set = set(self.query) if exclude_query else set()
+        return {
+            node
+            for node, distance in self.distances.items()
+            if distance >= threshold and node not in query_set
+        }
+
+    def has_unreachable_vertex(self) -> bool:
+        """Return ``True`` if some vertex cannot reach every query node."""
+        return any(distance == _INF for distance in self.distances.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryDistanceSnapshot(vertices={len(self.distances)}, "
+            f"graph_query_distance={self.graph_query_distance})"
+        )
+
+
+def compute_snapshot(graph: UndirectedGraph, query: Sequence[Hashable]) -> QueryDistanceSnapshot:
+    """Compute ``dist(v, Q)`` for every vertex of ``graph`` (|Q| BFS passes)."""
+    return QueryDistanceSnapshot(query_distances(graph, query), query)

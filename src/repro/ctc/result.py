@@ -1,0 +1,107 @@
+"""Result objects returned by the community-search algorithms.
+
+Every algorithm in :mod:`repro.ctc` and :mod:`repro.baselines` returns a
+:class:`CommunityResult` so that the experiment harness, the metrics layer
+and downstream users handle all methods uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Hashable
+from typing import Any
+
+from repro.graph.simple_graph import UndirectedGraph
+from repro.graph.properties import edge_density
+from repro.graph.traversal import diameter, graph_query_distance
+
+__all__ = ["CommunityResult"]
+
+
+@dataclasses.dataclass
+class CommunityResult:
+    """A community found for a query, plus the statistics the paper reports.
+
+    Attributes
+    ----------
+    graph:
+        The community subgraph itself.
+    query:
+        The query nodes the search was issued with (all contained in ``graph``
+        unless the algorithm reports a failure).
+    trussness:
+        The trussness k of the community (2 when not applicable, e.g. MDC).
+    method:
+        Short algorithm label (``"basic"``, ``"bulk-delete"``, ``"lctc"``,
+        ``"truss"``, ``"mdc"``, ``"qdc"``).
+    query_distance:
+        ``dist(H, Q)`` of the returned community.
+    elapsed_seconds:
+        Wall-clock time of the search, filled by the callers that time runs.
+    iterations:
+        Number of peeling iterations performed (0 when not applicable).
+    extras:
+        Free-form per-method diagnostics (e.g. the size of the explored
+        region for LCTC, the number of cascade deletions, ...).
+    """
+
+    graph: UndirectedGraph
+    query: tuple[Hashable, ...]
+    trussness: int
+    method: str
+    query_distance: float = 0.0
+    elapsed_seconds: float = 0.0
+    iterations: int = 0
+    extras: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> set[Hashable]:
+        """The node set of the community."""
+        return self.graph.node_set()
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the community."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the community."""
+        return self.graph.number_of_edges()
+
+    def density(self) -> float:
+        """Edge density ``2|E| / (|V|(|V|-1))`` of the community."""
+        return edge_density(self.graph)
+
+    def diameter(self) -> float:
+        """Exact diameter of the community (all-pairs BFS)."""
+        return diameter(self.graph)
+
+    def contains_query(self) -> bool:
+        """Return ``True`` if every query node is inside the community."""
+        return all(self.graph.has_node(node) for node in self.query)
+
+    def recompute_query_distance(self) -> float:
+        """Recompute and store ``dist(H, Q)`` from the current graph."""
+        self.query_distance = graph_query_distance(self.graph, self.query)
+        return self.query_distance
+
+    def summary(self) -> dict[str, Any]:
+        """Return a flat dict suitable for tabular experiment reporting."""
+        return {
+            "method": self.method,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "trussness": self.trussness,
+            "query_distance": self.query_distance,
+            "density": self.density(),
+            "elapsed_seconds": self.elapsed_seconds,
+            "iterations": self.iterations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunityResult(method={self.method!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, trussness={self.trussness})"
+        )

@@ -1,0 +1,56 @@
+"""Datasets: paper-figure fixtures, synthetic networks, registry and query workloads."""
+
+from repro.datasets.collaboration import CASE_STUDY_QUERY, build_collaboration_network
+from repro.datasets.paper_figures import (
+    example_2_cycle_nodes,
+    figure_1_expected_ctc_nodes,
+    figure_1_free_riders,
+    figure_1_graph,
+    figure_1_grey_nodes,
+    figure_1_query,
+    figure_4_graph,
+    figure_4_query,
+)
+from repro.datasets.queries import (
+    QueryWorkloadGenerator,
+    degree_rank_query_sets,
+    ground_truth_query_sets,
+    inter_distance_query_sets,
+    random_query_sets,
+)
+from repro.datasets.registry import (
+    PAPER_NETWORKS,
+    DatasetSpec,
+    dataset_names,
+    dataset_spec,
+    load_all_datasets,
+    load_dataset,
+)
+from repro.datasets.synthetic import CommunityProfile, SyntheticNetwork, generate_community_network
+
+__all__ = [
+    "figure_1_graph",
+    "figure_1_query",
+    "figure_1_grey_nodes",
+    "figure_1_expected_ctc_nodes",
+    "figure_1_free_riders",
+    "figure_4_graph",
+    "figure_4_query",
+    "example_2_cycle_nodes",
+    "CommunityProfile",
+    "SyntheticNetwork",
+    "generate_community_network",
+    "DatasetSpec",
+    "PAPER_NETWORKS",
+    "dataset_names",
+    "dataset_spec",
+    "load_dataset",
+    "load_all_datasets",
+    "QueryWorkloadGenerator",
+    "random_query_sets",
+    "degree_rank_query_sets",
+    "inter_distance_query_sets",
+    "ground_truth_query_sets",
+    "CASE_STUDY_QUERY",
+    "build_collaboration_network",
+]

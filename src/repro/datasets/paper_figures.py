@@ -1,0 +1,112 @@
+"""The worked examples of the paper (Figures 1 and 4) as concrete fixtures.
+
+The paper's Figures 1-4 and Examples 1-7 walk through small graphs whose
+behaviour under the algorithms is fully specified in the text.  The exact
+drawings are not recoverable from the PDF, so the fixtures below are
+*reconstructions*: graphs built to satisfy every property the text states
+(supports, trussness values, diameters, query distances, which nodes are free
+riders, how the algorithms behave).  They double as ground truth for the unit
+tests of the truss machinery and the CTC algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.graph.simple_graph import UndirectedGraph
+
+__all__ = [
+    "figure_1_graph",
+    "figure_1_query",
+    "figure_1_expected_ctc_nodes",
+    "figure_1_free_riders",
+    "figure_1_grey_nodes",
+    "figure_4_graph",
+    "figure_4_query",
+    "example_2_cycle_nodes",
+]
+
+
+def figure_1_graph() -> UndirectedGraph:
+    """Return the reconstruction of the Figure 1(a) graph.
+
+    Properties guaranteed by construction (and asserted in the test suite):
+
+    * the subgraph on every node except ``t`` (the "grey region") is a
+      4-truss containing the query ``{q1, q2, q3}`` and has diameter 4;
+    * ``sup(q2, v2) = 3`` via the triangles with ``q1``, ``v1`` and ``v5``
+      while ``tau(q2, v2) = 4`` (the worked example of Section 2);
+    * ``{q1, q2, v1, v2}``, ``{q3, v3, v4, v5}`` and ``{q3, p1, p2, p3}``
+      induce 4-cliques;
+    * the 5-cycle ``q1 - t - q3 - v4 - q2 - q1`` exists (Example 2) and is
+      the only way ``t`` attaches to the rest of the graph;
+    * the maximum trussness of any edge is 4 (``tau_bar = 4``);
+    * dropping ``{p1, p2, p3}`` leaves a 4-truss of diameter 3 — the closest
+      truss community of Example 1 — and those three nodes are the free
+      riders Algorithm 1 eliminates in Example 4.
+    """
+    edges = [
+        # 4-clique on {q1, q2, v1, v2}
+        ("q1", "q2"), ("q1", "v1"), ("q1", "v2"),
+        ("q2", "v1"), ("q2", "v2"), ("v1", "v2"),
+        # 4-clique on {q3, v3, v4, v5}
+        ("q3", "v3"), ("q3", "v4"), ("q3", "v5"),
+        ("v3", "v4"), ("v3", "v5"), ("v4", "v5"),
+        # 4-clique on {q3, p1, p2, p3}
+        ("q3", "p1"), ("q3", "p2"), ("q3", "p3"),
+        ("p1", "p2"), ("p1", "p3"), ("p2", "p3"),
+        # stitching edges that keep the grey region a single 4-truss
+        ("q2", "v5"), ("v2", "v5"), ("v1", "v5"),
+        ("q2", "v4"), ("q2", "v3"),
+        # the low-trussness attachment of t (Example 2's 5-cycle)
+        ("q1", "t"), ("q3", "t"),
+    ]
+    return UndirectedGraph(edges)
+
+
+def figure_1_query() -> tuple[str, str, str]:
+    """The query of Examples 1, 2, 4 and 7: ``{q1, q2, q3}``."""
+    return ("q1", "q2", "q3")
+
+
+def figure_1_grey_nodes() -> set[str]:
+    """Nodes of the grey region of Figure 1(a): everything except ``t``."""
+    return {"q1", "q2", "q3", "v1", "v2", "v3", "v4", "v5", "p1", "p2", "p3"}
+
+
+def figure_1_expected_ctc_nodes() -> set[str]:
+    """Nodes of the closest truss community of Figure 1(b)."""
+    return {"q1", "q2", "q3", "v1", "v2", "v3", "v4", "v5"}
+
+
+def figure_1_free_riders() -> set[str]:
+    """The free-rider nodes removed by Algorithm 1 in Example 4."""
+    return {"p1", "p2", "p3"}
+
+
+def example_2_cycle_nodes() -> set[str]:
+    """Nodes of the 5-cycle of Example 2 (the diameter-first counterexample)."""
+    return {"q1", "q2", "q3", "v4", "t"}
+
+
+def figure_4_graph() -> UndirectedGraph:
+    """Return the reconstruction of the Figure 4 graph (FindG0 walkthrough).
+
+    Two 4-cliques — ``{q1, v1, v2, t1}`` and ``{q2, v3, v4, t2}`` — joined by
+    the single low-trussness bridge ``(t1, t2)``.  Every clique edge has
+    trussness 4; the bridge has trussness 2.  With ``Q = {q1, q2}`` the
+    maximal connected k-truss containing the query is the *whole* graph at
+    ``k = 2``: the level-4 exploration finds two disconnected cliques, level
+    3 adds nothing, and level 2 adds the bridge (Example 6).
+    """
+    edges = [
+        ("q1", "v1"), ("q1", "v2"), ("q1", "t1"),
+        ("v1", "v2"), ("v1", "t1"), ("v2", "t1"),
+        ("q2", "v3"), ("q2", "v4"), ("q2", "t2"),
+        ("v3", "v4"), ("v3", "t2"), ("v4", "t2"),
+        ("t1", "t2"),
+    ]
+    return UndirectedGraph(edges)
+
+
+def figure_4_query() -> tuple[str, str]:
+    """The query of Example 6: ``{q1, q2}``."""
+    return ("q1", "q2")

@@ -1,0 +1,184 @@
+"""Query-workload generation (Section 6 of the paper).
+
+The experiments vary three query-set parameters:
+
+* **query size** ``|Q|`` in {1, 2, 4, 8, 16} (default 3),
+* **degree rank** ``Qd``: query nodes drawn from a given percentile bucket of
+  the degree distribution (default: top 80%, i.e. "degree higher than the
+  degree of 20% of nodes"),
+* **inter-distance** ``l``: the maximum pairwise hop distance between query
+  nodes (default 2).
+
+For the ground-truth quality experiment (Figure 12) query sets are drawn from
+inside a single ground-truth community, with query nodes that belong to
+exactly one community.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+
+from repro.datasets.synthetic import SyntheticNetwork
+from repro.exceptions import ConfigurationError
+from repro.graph.simple_graph import UndirectedGraph
+from repro.graph.traversal import bfs_distances
+
+__all__ = [
+    "QueryWorkloadGenerator",
+    "random_query_sets",
+    "degree_rank_query_sets",
+    "inter_distance_query_sets",
+    "ground_truth_query_sets",
+]
+
+
+class QueryWorkloadGenerator:
+    """Deterministic (seeded) generator of query-node sets over one graph."""
+
+    def __init__(self, graph: UndirectedGraph, seed: int = 0) -> None:
+        self._graph = graph
+        self._rng = random.Random(seed)
+        self._nodes = sorted(graph.nodes(), key=repr)
+        if not self._nodes:
+            raise ConfigurationError("cannot generate queries over an empty graph")
+        # Nodes sorted by descending degree, for the degree-rank buckets.
+        self._by_degree = sorted(
+            self._nodes, key=lambda node: (-graph.degree(node), repr(node))
+        )
+
+    # ------------------------------------------------------------------
+    def random_queries(self, query_size: int, count: int) -> list[list[Hashable]]:
+        """Return ``count`` random query sets of ``query_size`` nodes each."""
+        if query_size < 1:
+            raise ConfigurationError("query size must be at least 1")
+        population = self._nodes
+        size = min(query_size, len(population))
+        return [self._rng.sample(population, size) for _ in range(count)]
+
+    def degree_rank_queries(
+        self, rank_percent: int, query_size: int, count: int
+    ) -> list[list[Hashable]]:
+        """Return query sets drawn from one degree-rank bucket.
+
+        ``rank_percent = 20`` means the top-20% highest-degree bucket,
+        ``rank_percent = 100`` the bottom bucket — matching the five
+        equal-sized buckets of Figures 7-8.
+        """
+        if rank_percent not in (20, 40, 60, 80, 100):
+            raise ConfigurationError("rank_percent must be one of 20, 40, 60, 80, 100")
+        bucket_size = max(1, len(self._by_degree) // 5)
+        bucket_index = rank_percent // 20 - 1
+        start = bucket_index * bucket_size
+        stop = len(self._by_degree) if rank_percent == 100 else start + bucket_size
+        bucket = self._by_degree[start:stop]
+        size = min(query_size, len(bucket))
+        return [self._rng.sample(bucket, size) for _ in range(count)]
+
+    def inter_distance_queries(
+        self, inter_distance: int, query_size: int, count: int, max_attempts: int = 200
+    ) -> list[list[Hashable]]:
+        """Return query sets whose pairwise hop distance is at most ``inter_distance``.
+
+        The generator picks a random anchor node, collects its
+        ``inter_distance``-hop ball, and samples the remaining query nodes
+        from the ball, preferring nodes at exactly the requested distance so
+        the workload actually stresses the requested separation (as in
+        Figures 9-10).  Query sets that cannot be realised are skipped, so
+        fewer than ``count`` sets may be returned on tiny graphs.
+        """
+        if inter_distance < 1:
+            raise ConfigurationError("inter-distance must be at least 1")
+        results: list[list[Hashable]] = []
+        attempts = 0
+        while len(results) < count and attempts < max_attempts * count:
+            attempts += 1
+            anchor = self._rng.choice(self._nodes)
+            ball = bfs_distances(self._graph, anchor, cutoff=inter_distance)
+            ball.pop(anchor, None)
+            if len(ball) < query_size - 1:
+                continue
+            ring = [node for node, dist in ball.items() if dist == inter_distance]
+            others = [node for node in ball if node not in ring]
+            picked: list[Hashable] = [anchor]
+            pool = sorted(ring, key=repr) + sorted(others, key=repr)
+            self._rng.shuffle(pool)
+            # Prefer at least one node on the outer ring so the realised
+            # inter-distance is (close to) the requested one.
+            if ring:
+                picked.append(self._rng.choice(sorted(ring, key=repr)))
+            for node in pool:
+                if len(picked) >= query_size:
+                    break
+                if node not in picked:
+                    picked.append(node)
+            if len(picked) == query_size:
+                results.append(picked)
+        return results
+
+    def ground_truth_queries(
+        self,
+        network: SyntheticNetwork,
+        count: int,
+        size_range: tuple[int, int] = (1, 16),
+    ) -> list[tuple[list[Hashable], set[Hashable]]]:
+        """Return ``(query, target community)`` pairs for the F1 evaluation.
+
+        Query nodes are drawn from nodes that belong to exactly one planted
+        community, and all query nodes of one set come from the same
+        community (the Figure 12 protocol).
+        """
+        unique_nodes = set(network.nodes_in_unique_community())
+        eligible: list[tuple[set[Hashable], list[Hashable]]] = []
+        for community in network.communities:
+            members = sorted((node for node in community if node in unique_nodes), key=repr)
+            if members:
+                eligible.append((set(community), members))
+        if not eligible:
+            raise ConfigurationError(
+                "no ground-truth community has nodes with a unique membership"
+            )
+        pairs: list[tuple[list[Hashable], set[Hashable]]] = []
+        low, high = size_range
+        for _ in range(count):
+            community, members = self._rng.choice(eligible)
+            size = self._rng.randint(low, min(high, len(members)))
+            pairs.append((self._rng.sample(members, size), community))
+        return pairs
+
+
+# ----------------------------------------------------------------------
+# Functional wrappers (what the experiment drivers call)
+# ----------------------------------------------------------------------
+def random_query_sets(
+    graph: UndirectedGraph, query_size: int, count: int, seed: int = 0
+) -> list[list[Hashable]]:
+    """Return ``count`` random query sets of the given size."""
+    return QueryWorkloadGenerator(graph, seed).random_queries(query_size, count)
+
+
+def degree_rank_query_sets(
+    graph: UndirectedGraph, rank_percent: int, query_size: int, count: int, seed: int = 0
+) -> list[list[Hashable]]:
+    """Return query sets from the given degree-rank bucket."""
+    return QueryWorkloadGenerator(graph, seed).degree_rank_queries(rank_percent, query_size, count)
+
+
+def inter_distance_query_sets(
+    graph: UndirectedGraph, inter_distance: int, query_size: int, count: int, seed: int = 0
+) -> list[list[Hashable]]:
+    """Return query sets constrained to the given pairwise inter-distance."""
+    return QueryWorkloadGenerator(graph, seed).inter_distance_queries(
+        inter_distance, query_size, count
+    )
+
+
+def ground_truth_query_sets(
+    network: SyntheticNetwork,
+    count: int,
+    size_range: tuple[int, int] = (1, 16),
+    seed: int = 0,
+) -> list[tuple[list[Hashable], set[Hashable]]]:
+    """Return ``(query, target community)`` pairs drawn from the planted ground truth."""
+    generator = QueryWorkloadGenerator(network.graph, seed)
+    return generator.ground_truth_queries(network, count, size_range=size_range)

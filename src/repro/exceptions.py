@@ -1,0 +1,64 @@
+"""Exception hierarchy for the CTC reproduction library.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+library failures with a single ``except`` clause while still distinguishing
+the common cases (bad graph input, query nodes missing from the graph, no
+community satisfying the model, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """A graph operation received structurally invalid input.
+
+    Examples: adding a self-loop to a simple graph, querying an endpoint of
+    an edge that does not exist, or building a view over nodes that are not
+    present in the parent graph.
+    """
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class QueryError(ReproError):
+    """A community-search query is malformed.
+
+    Raised when the query node set is empty where the algorithm requires at
+    least one node, when query nodes are missing from the graph, or when the
+    query nodes are mutually disconnected so no connected community exists.
+    """
+
+
+class NoCommunityFoundError(ReproError):
+    """No community satisfying the model exists for the given query.
+
+    For the CTC model this happens when the query nodes cannot be connected
+    inside any k-truss with k >= 2 (e.g. they lie in different connected
+    components of the graph).
+    """
+
+
+class IndexNotBuiltError(ReproError):
+    """A truss-index-dependent operation was invoked before building the index."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or dataset configuration is inconsistent."""

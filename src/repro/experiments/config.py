@@ -1,0 +1,86 @@
+"""Experiment configuration.
+
+The paper runs 100 query sets per data point on networks with up to 117M
+edges and a one-hour-per-query timeout.  The reproduction keeps the same
+experimental *design* (which parameters are varied, which methods are
+compared, what is measured) while scaling the per-point query count and the
+dataset sizes so the whole suite runs on a laptop.  Every figure driver and
+benchmark takes an :class:`ExperimentConfig`, so the scale can be turned back
+up by anyone with more patience or hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["ExperimentConfig", "QUICK_CONFIG", "FULL_CONFIG"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """Scaling knobs shared by all experiment drivers.
+
+    Attributes
+    ----------
+    queries_per_point:
+        Number of query sets averaged per data point (paper: 100).
+    default_query_size:
+        |Q| used when the experiment does not vary it (paper: 3).
+    query_sizes:
+        The |Q| values swept by Figures 5-6 (paper: 1, 2, 4, 8, 16).
+    degree_ranks:
+        Degree-rank buckets swept by Figures 7-8 (paper: 20..100%).
+    inter_distances:
+        Inter-distance values swept by Figures 9-10 and 13 (paper: 1..5).
+    eta_values / gamma_values:
+        LCTC parameter sweeps of Figures 15-16 (eta scaled to the stand-in
+        network sizes; the paper sweeps 100..2000 on million-node graphs).
+    lctc_eta / lctc_gamma:
+        Default LCTC parameters (paper: eta=1000, gamma=3).
+    trussness_levels:
+        The k values swept by Figure 14 ("max" is represented by ``None``).
+    ground_truth_queries:
+        Query-set count for the Figure 12 quality evaluation (paper: 1000).
+    time_budget_seconds:
+        Per-query wall-clock cap for the global methods (paper: 3600).
+    seed:
+        Workload RNG seed.
+    """
+
+    queries_per_point: int = 5
+    default_query_size: int = 3
+    query_sizes: tuple[int, ...] = (1, 2, 4, 8, 16)
+    degree_ranks: tuple[int, ...] = (20, 40, 60, 80, 100)
+    inter_distances: tuple[int, ...] = (1, 2, 3, 4, 5)
+    eta_values: tuple[int, ...] = (25, 50, 100, 200, 400)
+    gamma_values: tuple[float, ...] = (1.0, 3.0, 5.0, 7.0, 9.0)
+    lctc_eta: int = 200
+    lctc_gamma: float = 3.0
+    trussness_levels: tuple[int | None, ...] = (2, 4, 6, 8, None)
+    ground_truth_queries: int = 20
+    time_budget_seconds: float = 30.0
+    seed: int = 2015
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        """Return a copy with the per-point query counts scaled by ``factor``."""
+        return dataclasses.replace(
+            self,
+            queries_per_point=max(1, int(self.queries_per_point * factor)),
+            ground_truth_queries=max(1, int(self.ground_truth_queries * factor)),
+        )
+
+
+#: Configuration used by the pytest benchmarks: fast enough for CI.
+QUICK_CONFIG = ExperimentConfig(
+    queries_per_point=3,
+    ground_truth_queries=8,
+    time_budget_seconds=15.0,
+)
+
+#: Closer to the paper's scale (still laptop-sized); used when running the
+#: experiment drivers by hand.
+FULL_CONFIG = ExperimentConfig(
+    queries_per_point=20,
+    ground_truth_queries=100,
+    time_budget_seconds=120.0,
+)

@@ -1,0 +1,78 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures show; this module owns the formatting so tables look consistent
+whether they come from the CLI, the examples or the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_series", "format_float", "render_report"]
+
+
+def format_float(value: Any, precision: int = 3) -> str:
+    """Format a numeric cell: floats rounded, infinities as ``inf``, rest via str()."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [format_float(row.get(column, ""), precision) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[index]) for rendered in rendered_rows))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(rendered[index].ljust(widths[index]) for index in range(len(columns)))
+        for rendered in rendered_rows
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, separator, *body])
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[Any]], x_label: str, x_values: Sequence[Any], title: str | None = None
+) -> str:
+    """Render named series over a shared x-axis (one figure panel) as a table."""
+    rows = []
+    for position, x_value in enumerate(x_values):
+        row: dict[str, Any] = {x_label: x_value}
+        for name, values in series.items():
+            row[name] = values[position] if position < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def render_report(sections: Sequence[tuple[str, str]]) -> str:
+    """Join titled report sections with blank lines."""
+    parts = []
+    for heading, body in sections:
+        parts.append(f"== {heading} ==")
+        parts.append(body)
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,199 @@
+"""Shared experiment machinery: run methods over query workloads and aggregate.
+
+Each figure of the paper reports, for one network, one or more *panels*
+(query time, FRE-avoidance percentage, density, F1, diameter, ...) as a
+function of one swept parameter, averaged over a workload of query sets.
+:func:`run_method_on_queries` executes one (method, workload) cell and
+returns the aggregate; the figure drivers in :mod:`repro.experiments.figures`
+assemble cells into the paper's panels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import time
+from collections.abc import Callable, Hashable, Sequence
+from typing import Any
+
+from repro.baselines.mdc import MinimumDegreeCommunity
+from repro.baselines.qdc import QueryBiasedDensestCommunity
+from repro.baselines.truss_only import TrussOnly
+from repro.ctc.basic import BasicCTC
+from repro.ctc.bulk_delete import BulkDeleteCTC
+from repro.ctc.local import LocalCTC
+from repro.ctc.result import CommunityResult
+from repro.exceptions import NoCommunityFoundError, QueryError, ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.graph.simple_graph import UndirectedGraph
+from repro.metrics.quality import f1_score
+from repro.metrics.structure import percentage_retained
+from repro.trusses.index import TrussIndex
+
+__all__ = [
+    "MethodRun",
+    "make_searcher",
+    "run_method_on_queries",
+    "aggregate_percentage_and_density",
+    "score_against_ground_truth",
+    "mean_or_nan",
+]
+
+
+def mean_or_nan(values: Sequence[float]) -> float:
+    """Mean of the finite entries of ``values``, or NaN when none are finite."""
+    finite = [value for value in values if value == value and value != float("inf")]
+    return statistics.fmean(finite) if finite else float("nan")
+
+
+@dataclasses.dataclass
+class MethodRun:
+    """Aggregated outcome of one method over one query workload.
+
+    ``results`` is aligned with the input query list: entry *i* is the
+    :class:`CommunityResult` for query *i*, or ``None`` if that query failed
+    (no community exists / query invalid on this graph), so pairwise
+    comparisons between methods stay query-aligned.
+    """
+
+    method: str
+    results: list[CommunityResult | None]
+
+    # ------------------------------------------------------------------
+    @property
+    def successful(self) -> list[CommunityResult]:
+        """The results of the queries that produced a community."""
+        return [result for result in self.results if result is not None]
+
+    @property
+    def failures(self) -> int:
+        """Number of queries for which no community was found."""
+        return sum(1 for result in self.results if result is None)
+
+    @property
+    def mean_elapsed(self) -> float:
+        """Mean wall-clock seconds per successful query."""
+        return mean_or_nan([result.elapsed_seconds for result in self.successful])
+
+    @property
+    def mean_nodes(self) -> float:
+        """Mean community size in nodes."""
+        return mean_or_nan([result.num_nodes for result in self.successful])
+
+    @property
+    def mean_edges(self) -> float:
+        """Mean community size in edges."""
+        return mean_or_nan([result.num_edges for result in self.successful])
+
+    @property
+    def mean_density(self) -> float:
+        """Mean community edge density."""
+        return mean_or_nan([result.density() for result in self.successful])
+
+    @property
+    def mean_trussness(self) -> float:
+        """Mean community trussness."""
+        return mean_or_nan([result.trussness for result in self.successful])
+
+    def as_row(self) -> dict[str, Any]:
+        """Flatten to a reporting row."""
+        return {
+            "method": self.method,
+            "queries": len(self.results),
+            "failures": self.failures,
+            "time_s": self.mean_elapsed,
+            "nodes": self.mean_nodes,
+            "edges": self.mean_edges,
+            "density": self.mean_density,
+            "trussness": self.mean_trussness,
+        }
+
+
+def make_searcher(
+    method: str,
+    graph: UndirectedGraph,
+    index: TrussIndex,
+    config: ExperimentConfig,
+    eta: int | None = None,
+    gamma: float | None = None,
+    max_trussness_k: int | None = None,
+) -> Callable[[Sequence[Hashable]], CommunityResult]:
+    """Return a ``query -> CommunityResult`` callable for the named method."""
+    if method == "basic":
+        return BasicCTC(index, time_budget_seconds=config.time_budget_seconds).search
+    if method == "bulk-delete":
+        return BulkDeleteCTC(index, time_budget_seconds=config.time_budget_seconds).search
+    if method == "lctc":
+        searcher = LocalCTC(
+            index,
+            eta=eta if eta is not None else config.lctc_eta,
+            gamma=gamma if gamma is not None else config.lctc_gamma,
+            max_trussness_k=max_trussness_k,
+        )
+        return searcher.search
+    if method == "truss":
+        return TrussOnly(index).search
+    if method == "mdc":
+        return MinimumDegreeCommunity(graph).search
+    if method == "qdc":
+        return QueryBiasedDensestCommunity(graph).search
+    raise ReproError(f"unknown method {method!r}")
+
+
+def run_method_on_queries(
+    method: str,
+    graph: UndirectedGraph,
+    index: TrussIndex,
+    queries: Sequence[Sequence[Hashable]],
+    config: ExperimentConfig,
+    **method_kwargs: Any,
+) -> MethodRun:
+    """Run one method on every query set and collect query-aligned results.
+
+    Query sets for which no community exists (or that are invalid on this
+    graph) yield ``None`` entries rather than aborting the sweep — the paper
+    similarly averages over successful queries only.
+    """
+    searcher = make_searcher(method, graph, index, config, **method_kwargs)
+    results: list[CommunityResult | None] = []
+    for query in queries:
+        started = time.perf_counter()
+        try:
+            result = searcher(list(query))
+        except (NoCommunityFoundError, QueryError):
+            results.append(None)
+            continue
+        if result.elapsed_seconds == 0.0:
+            result.elapsed_seconds = time.perf_counter() - started
+        results.append(result)
+    return MethodRun(method=method, results=results)
+
+
+def aggregate_percentage_and_density(run: MethodRun, reference: MethodRun) -> dict[str, float]:
+    """Pair a method run with the Truss reference run (Figures 5-10 panels b/c).
+
+    Entry *i* of both runs corresponds to the same query set, so the
+    FRE-avoidance percentage is averaged pairwise over queries where both
+    methods produced a community.
+    """
+    percentages = []
+    for result, reference_result in zip(run.results, reference.results):
+        if result is None or reference_result is None:
+            continue
+        percentages.append(percentage_retained(result.graph, reference_result.graph))
+    return {
+        "percentage": mean_or_nan(percentages),
+        "density": run.mean_density,
+        "time_s": run.mean_elapsed,
+    }
+
+
+def score_against_ground_truth(run: MethodRun, truths: Sequence[set[Hashable]]) -> float:
+    """Return the mean F1 of a run against per-query ground-truth communities."""
+    scores = []
+    for result, truth in zip(run.results, truths):
+        if result is None:
+            scores.append(0.0)
+        else:
+            scores.append(f1_score(result.nodes, truth))
+    return mean_or_nan(scores)

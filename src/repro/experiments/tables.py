@@ -1,0 +1,85 @@
+"""Table 2 and Table 3 of the paper.
+
+* Table 2: per-network statistics — ``|V|``, ``|E|``, ``d_max`` and the
+  maximum trussness ``tau_bar(empty)``.
+* Table 3: truss-index size and construction time per network.
+
+Both are computed over the registry's stand-in networks; the paper's original
+numbers are carried along (from :data:`repro.datasets.registry.PAPER_NETWORKS`)
+so the printed table shows the substitution side by side.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.datasets.registry import PAPER_NETWORKS, dataset_names, dataset_spec, load_dataset
+from repro.experiments.reporting import format_table
+from repro.trusses.decomposition import max_trussness, truss_decomposition
+from repro.trusses.index import TrussIndex
+
+__all__ = ["table2_network_statistics", "table3_index_statistics", "render_table2", "render_table3"]
+
+
+def table2_network_statistics(names: list[str] | None = None) -> list[dict[str, Any]]:
+    """Return one row per stand-in network with the Table 2 statistics."""
+    rows: list[dict[str, Any]] = []
+    for name in names or dataset_names():
+        network = load_dataset(name)
+        spec = dataset_spec(name)
+        trussness = truss_decomposition(network.graph)
+        paper = PAPER_NETWORKS.get(spec.paper_counterpart, {})
+        rows.append(
+            {
+                "network": name,
+                "paper_counterpart": spec.paper_counterpart,
+                "nodes": network.graph.number_of_nodes(),
+                "edges": network.graph.number_of_edges(),
+                "d_max": network.graph.max_degree(),
+                "max_trussness": max_trussness(network.graph, trussness),
+                "paper_nodes": paper.get("nodes", ""),
+                "paper_edges": paper.get("edges", ""),
+                "paper_max_trussness": paper.get("max_trussness", ""),
+            }
+        )
+    return rows
+
+
+def table3_index_statistics(names: list[str] | None = None) -> list[dict[str, Any]]:
+    """Return one row per network with index size (entries) and build time."""
+    rows: list[dict[str, Any]] = []
+    for name in names or dataset_names():
+        network = load_dataset(name)
+        graph_entries = 2 * network.graph.number_of_edges() + network.graph.number_of_nodes()
+        started = time.perf_counter()
+        index = TrussIndex(network.graph)
+        build_seconds = time.perf_counter() - started
+        rows.append(
+            {
+                "network": name,
+                "graph_entries": graph_entries,
+                "index_entries": index.size_in_entries(),
+                "index_to_graph_ratio": index.size_in_entries() / graph_entries
+                if graph_entries
+                else 0.0,
+                "index_time_s": build_seconds,
+            }
+        )
+    return rows
+
+
+def render_table2(names: list[str] | None = None) -> str:
+    """Render Table 2 as text."""
+    return format_table(
+        table2_network_statistics(names),
+        title="Table 2: network statistics (stand-in networks vs. paper originals)",
+    )
+
+
+def render_table3(names: list[str] | None = None) -> str:
+    """Render Table 3 as text."""
+    return format_table(
+        table3_index_statistics(names),
+        title="Table 3: truss index size and construction time",
+    )

@@ -1,0 +1,167 @@
+"""Connected components and connectivity predicates.
+
+The CTC algorithms repeatedly ask two questions:
+
+* "is the query node set ``Q`` still connected inside the current graph?"
+  (the while-loop guards of Algorithms 1 and 4), and
+* "what is the connected component of the current truss that contains ``Q``?"
+  (FindG0 termination, LCTC extraction).
+
+Both are answered here with plain BFS/union-find utilities on
+:class:`~repro.graph.simple_graph.UndirectedGraph`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.simple_graph import UndirectedGraph
+
+__all__ = [
+    "connected_components",
+    "connected_component_containing",
+    "is_connected",
+    "nodes_are_connected",
+    "component_count",
+    "largest_component",
+    "UnionFind",
+]
+
+
+def connected_components(graph: UndirectedGraph) -> list[set[Hashable]]:
+    """Return the connected components as a list of node sets.
+
+    Components are returned in discovery order of their first node, which
+    follows the graph's (insertion-ordered) node iteration, so the output is
+    deterministic for a deterministically built graph.
+    """
+    seen: set[Hashable] = set()
+    components: list[set[Hashable]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = _bfs_component(graph, start)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def _bfs_component(graph: UndirectedGraph, start: Hashable) -> set[Hashable]:
+    component = {start}
+    queue: deque[Hashable] = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in component:
+                component.add(neighbor)
+                queue.append(neighbor)
+    return component
+
+
+def connected_component_containing(graph: UndirectedGraph, node: Hashable) -> set[Hashable]:
+    """Return the node set of the connected component containing ``node``."""
+    if node not in graph:
+        raise NodeNotFoundError(node)
+    return _bfs_component(graph, node)
+
+
+def is_connected(graph: UndirectedGraph) -> bool:
+    """Return ``True`` if the graph is connected (empty graphs count as connected)."""
+    total = graph.number_of_nodes()
+    if total <= 1:
+        return True
+    start = next(iter(graph.nodes()))
+    return len(_bfs_component(graph, start)) == total
+
+
+def nodes_are_connected(graph: UndirectedGraph, nodes: Iterable[Hashable]) -> bool:
+    """Return ``True`` if all of ``nodes`` lie in one connected component.
+
+    This is the ``connect_G(Q)`` predicate used by the while-loops of the
+    paper's Algorithms 1, 2 and 4.  Nodes missing from the graph make the
+    predicate ``False`` (they were peeled away, so ``Q`` is no longer
+    contained in the graph, let alone connected).
+    """
+    node_list = list(dict.fromkeys(nodes))
+    if not node_list:
+        return True
+    if any(node not in graph for node in node_list):
+        return False
+    if len(node_list) == 1:
+        return True
+    component = _bfs_component(graph, node_list[0])
+    return all(node in component for node in node_list[1:])
+
+
+def component_count(graph: UndirectedGraph) -> int:
+    """Return the number of connected components."""
+    return len(connected_components(graph))
+
+
+def largest_component(graph: UndirectedGraph) -> set[Hashable]:
+    """Return the node set of the largest connected component (empty set if empty)."""
+    components = connected_components(graph)
+    if not components:
+        return set()
+    return max(components, key=len)
+
+
+class UnionFind:
+    """Disjoint-set forest with union by size and path compression.
+
+    Used by the Steiner tree construction (Kruskal phase over the metric
+    closure) and by the synthetic dataset generators when stitching planted
+    communities into a connected network.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] | None = None) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        if elements is not None:
+            for element in elements:
+                self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton set if unseen."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the representative of ``element``'s set (adding it if new)."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, first: Hashable, second: Hashable) -> bool:
+        """Merge the sets containing the two elements.
+
+        Returns ``True`` if a merge happened, ``False`` if they were already
+        in the same set.
+        """
+        root_a = self.find(first)
+        root_b = self.find(second)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return True
+
+    def connected(self, first: Hashable, second: Hashable) -> bool:
+        """Return ``True`` if both elements are in the same set."""
+        return self.find(first) == self.find(second)
+
+    def groups(self) -> list[set[Hashable]]:
+        """Return the current partition as a list of sets."""
+        by_root: dict[Hashable, set[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return list(by_root.values())

@@ -1,0 +1,56 @@
+"""Interoperability with :mod:`networkx`.
+
+The library itself never depends on networkx (all algorithms are implemented
+from scratch on :class:`~repro.graph.simple_graph.UndirectedGraph`), but the
+tests use networkx as an *independent oracle* for shortest paths, k-truss
+extraction and connectivity, and downstream users may want to move graphs in
+and out of the networkx ecosystem.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.simple_graph import UndirectedGraph
+
+__all__ = ["to_networkx", "from_networkx", "networkx_available"]
+
+
+def networkx_available() -> bool:
+    """Return ``True`` if networkx can be imported in this environment."""
+    try:
+        import networkx  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def to_networkx(graph: UndirectedGraph) -> Any:
+    """Convert an :class:`UndirectedGraph` to a :class:`networkx.Graph`.
+
+    Raises
+    ------
+    ImportError
+        If networkx is not installed.
+    """
+    import networkx as nx
+
+    converted = nx.Graph()
+    converted.add_nodes_from(graph.nodes())
+    converted.add_edges_from(graph.edges())
+    return converted
+
+
+def from_networkx(graph: Any) -> UndirectedGraph:
+    """Convert a :class:`networkx.Graph` (or anything with nodes()/edges()) back.
+
+    Directed or multi-graphs are flattened: edge directions and parallel
+    edges are dropped, self-loops are skipped, matching the simple-graph
+    model of the paper.
+    """
+    converted = UndirectedGraph()
+    converted.add_nodes_from(graph.nodes())
+    for u, v in graph.edges():
+        if u != v:
+            converted.add_edge(u, v)
+    return converted

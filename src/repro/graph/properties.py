@@ -1,0 +1,128 @@
+"""Global structural properties: density, degeneracy, arboricity bounds.
+
+These back two parts of the reproduction:
+
+* Table 2 reports ``|V|``, ``|E|``, ``d_max`` and the maximum trussness of
+  each network; the degree statistics live here (trussness comes from
+  :mod:`repro.trusses.decomposition`).
+* The complexity analysis of the paper is stated in terms of the arboricity
+  ``rho <= min(d_max, sqrt(m))`` (Remark 1 / Theorem 4); we expose both the
+  Chiba–Nishizeki upper bound and the degeneracy-based bound
+  ``rho <= degeneracy`` so benchmarks can report them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.graph.simple_graph import UndirectedGraph
+
+__all__ = [
+    "edge_density",
+    "average_degree",
+    "degree_histogram",
+    "degeneracy_ordering",
+    "degeneracy",
+    "arboricity_upper_bound",
+    "graph_summary",
+]
+
+
+def edge_density(graph: UndirectedGraph) -> float:
+    """Return ``2|E| / (|V| (|V|-1))``, the metric reported in Figures 5-10.
+
+    Graphs with fewer than two nodes have density 0.0 by convention.
+    """
+    node_count = graph.number_of_nodes()
+    if node_count < 2:
+        return 0.0
+    return 2.0 * graph.number_of_edges() / (node_count * (node_count - 1))
+
+
+def average_degree(graph: UndirectedGraph) -> float:
+    """Return the mean degree ``2|E| / |V|`` (0.0 for the empty graph)."""
+    node_count = graph.number_of_nodes()
+    if node_count == 0:
+        return 0.0
+    return 2.0 * graph.number_of_edges() / node_count
+
+
+def degree_histogram(graph: UndirectedGraph) -> dict[int, int]:
+    """Return a mapping ``degree -> number of nodes with that degree``."""
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        degree = graph.degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def degeneracy_ordering(graph: UndirectedGraph) -> tuple[list[Hashable], int]:
+    """Return a degeneracy ordering and the degeneracy of the graph.
+
+    The ordering repeatedly removes a minimum-degree node (bucket queue, so
+    the whole procedure is O(n + m)).  The degeneracy is the largest degree
+    encountered at removal time; it equals the maximum core number and upper
+    bounds the arboricity.
+    """
+    degrees = graph.degrees()
+    if not degrees:
+        return [], 0
+    max_degree = max(degrees.values())
+    buckets: list[set[Hashable]] = [set() for _ in range(max_degree + 1)]
+    for node, degree in degrees.items():
+        buckets[degree].add(node)
+    ordering: list[Hashable] = []
+    removed: set[Hashable] = set()
+    degeneracy_value = 0
+    current = dict(degrees)
+    pointer = 0
+    total = graph.number_of_nodes()
+    while len(ordering) < total:
+        while pointer <= max_degree and not buckets[pointer]:
+            pointer += 1
+        node = buckets[pointer].pop()
+        degeneracy_value = max(degeneracy_value, current[node])
+        ordering.append(node)
+        removed.add(node)
+        for neighbor in graph.neighbors(node):
+            if neighbor in removed:
+                continue
+            old = current[neighbor]
+            buckets[old].discard(neighbor)
+            current[neighbor] = old - 1
+            buckets[old - 1].add(neighbor)
+            if old - 1 < pointer:
+                pointer = old - 1
+    return ordering, degeneracy_value
+
+
+def degeneracy(graph: UndirectedGraph) -> int:
+    """Return the degeneracy (maximum core number) of the graph."""
+    return degeneracy_ordering(graph)[1]
+
+
+def arboricity_upper_bound(graph: UndirectedGraph) -> int:
+    """Return ``min(d_max, ceil(sqrt(m)), degeneracy)``, an upper bound on arboricity.
+
+    The paper's Remark 1 uses ``rho <= min(d_max, sqrt(m))`` (Chiba-Nishizeki);
+    the degeneracy bound is usually tighter on social networks so we take the
+    minimum of all three.
+    """
+    edge_count = graph.number_of_edges()
+    if edge_count == 0:
+        return 0
+    sqrt_bound = int(edge_count ** 0.5)
+    if sqrt_bound * sqrt_bound < edge_count:
+        sqrt_bound += 1
+    return min(graph.max_degree(), sqrt_bound, max(1, degeneracy(graph)))
+
+
+def graph_summary(graph: UndirectedGraph) -> dict[str, float]:
+    """Return the headline statistics used by Table 2 style reporting."""
+    return {
+        "nodes": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "max_degree": graph.max_degree(),
+        "average_degree": average_degree(graph),
+        "density": edge_density(graph),
+    }

@@ -1,0 +1,245 @@
+"""Breadth-first traversal, shortest distances, eccentricity and diameter.
+
+All CTC algorithms in the paper rely on unweighted shortest-path distances:
+
+* the *vertex query distance* ``dist(v, Q) = max_{q in Q} dist(v, q)`` drives
+  which nodes get peeled (Algorithms 1 and 4),
+* the *graph query distance* ``dist(H, Q) = max_{v in H} dist(v, Q)`` is the
+  quantity the greedy framework minimises, and
+* the *diameter* is the quality measure the model optimises and that the
+  experiments report (Figures 13 and 14).
+
+Everything here is plain BFS; graphs are unweighted so BFS gives exact
+shortest paths in O(n + m) per source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.simple_graph import UndirectedGraph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_tree",
+    "bfs_layers",
+    "shortest_path",
+    "shortest_path_length",
+    "eccentricity",
+    "diameter",
+    "diameter_lower_bound_two_sweep",
+    "query_distances",
+    "graph_query_distance",
+]
+
+_INF = float("inf")
+
+
+def bfs_distances(
+    graph: UndirectedGraph,
+    source: Hashable,
+    cutoff: float | None = None,
+) -> dict[Hashable, int]:
+    """Return hop distances from ``source`` to every reachable node.
+
+    Parameters
+    ----------
+    graph:
+        The graph to traverse.
+    source:
+        Start node; must exist in the graph.
+    cutoff:
+        If given, stop expanding once the frontier distance exceeds ``cutoff``;
+        only nodes within ``cutoff`` hops are returned.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    distances: dict[Hashable, int] = {source: 0}
+    queue: deque[Hashable] = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_distance = distances[node] + 1
+        if cutoff is not None and next_distance > cutoff:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = next_distance
+                queue.append(neighbor)
+    return distances
+
+
+def bfs_tree(graph: UndirectedGraph, source: Hashable) -> dict[Hashable, Hashable | None]:
+    """Return a BFS predecessor map rooted at ``source``.
+
+    The root maps to ``None``; every other reachable node maps to its parent
+    on some shortest path from the root.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    parents: dict[Hashable, Hashable | None] = {source: None}
+    queue: deque[Hashable] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in parents:
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return parents
+
+
+def bfs_layers(graph: UndirectedGraph, sources: Iterable[Hashable]) -> list[set[Hashable]]:
+    """Return BFS layers (frontiers) expanding simultaneously from ``sources``.
+
+    Layer 0 is the source set itself; layer ``i`` contains nodes at distance
+    exactly ``i`` from the nearest source.  Used by the LCTC expansion step,
+    which grows the Steiner tree outward one ring at a time.
+    """
+    frontier = {node for node in sources}
+    for node in frontier:
+        if node not in graph:
+            raise NodeNotFoundError(node)
+    layers: list[set[Hashable]] = []
+    visited = set(frontier)
+    while frontier:
+        layers.append(frontier)
+        next_frontier: set[Hashable] = set()
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    next_frontier.add(neighbor)
+        frontier = next_frontier
+    return layers
+
+
+def shortest_path(
+    graph: UndirectedGraph, source: Hashable, target: Hashable
+) -> list[Hashable] | None:
+    """Return one shortest path from ``source`` to ``target`` or ``None``.
+
+    The path includes both endpoints.  A node's path to itself is ``[node]``.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [source]
+    parents: dict[Hashable, Hashable | None] = {source: None}
+    queue: deque[Hashable] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor in parents:
+                continue
+            parents[neighbor] = node
+            if neighbor == target:
+                path = [target]
+                current: Hashable | None = node
+                while current is not None:
+                    path.append(current)
+                    current = parents[current]
+                path.reverse()
+                return path
+            queue.append(neighbor)
+    return None
+
+
+def shortest_path_length(graph: UndirectedGraph, source: Hashable, target: Hashable) -> float:
+    """Return the hop distance between two nodes, or ``inf`` if disconnected."""
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    distances = bfs_distances(graph, source)
+    return distances.get(target, _INF)
+
+
+def eccentricity(graph: UndirectedGraph, node: Hashable) -> float:
+    """Return the eccentricity of ``node`` within its connected component.
+
+    If the graph has nodes unreachable from ``node`` the eccentricity is
+    still reported relative to the reachable set (matching how the paper
+    always measures diameters of connected communities); callers that need
+    to detect disconnection should compare reachable counts explicitly.
+    """
+    distances = bfs_distances(graph, node)
+    return max(distances.values()) if distances else 0
+
+
+def diameter(graph: UndirectedGraph, nodes: Iterable[Hashable] | None = None) -> float:
+    """Return the exact diameter via all-pairs BFS.
+
+    Parameters
+    ----------
+    graph:
+        Graph whose diameter is requested.
+    nodes:
+        Optional subset of sources; when given, the maximum is taken over
+        eccentricities of these sources only (useful for sampled estimates).
+
+    Returns
+    -------
+    float
+        The largest shortest-path distance between any pair of (reachable)
+        nodes; ``inf`` if the graph is disconnected and ``nodes`` is None;
+        0 for graphs with fewer than two nodes.
+    """
+    all_nodes = list(graph.nodes())
+    if len(all_nodes) < 2:
+        return 0
+    sources: Sequence[Hashable] = list(nodes) if nodes is not None else all_nodes
+    total = len(all_nodes)
+    best = 0.0
+    for source in sources:
+        distances = bfs_distances(graph, source)
+        if nodes is None and len(distances) < total:
+            return _INF
+        local = max(distances.values())
+        if local > best:
+            best = local
+    return best
+
+
+def diameter_lower_bound_two_sweep(graph: UndirectedGraph, start: Hashable | None = None) -> float:
+    """Return a lower bound on the diameter using the classic double sweep.
+
+    BFS from an arbitrary node, then BFS again from the farthest node found;
+    the second eccentricity is a lower bound on the true diameter and is
+    exact on trees.  Used by the experiment harness to avoid quadratic
+    diameter computation on the larger synthetic networks.
+    """
+    if graph.number_of_nodes() < 2:
+        return 0
+    if start is None:
+        start = next(iter(graph.nodes()))
+    first = bfs_distances(graph, start)
+    far_node = max(first, key=first.__getitem__)
+    second = bfs_distances(graph, far_node)
+    return max(second.values())
+
+
+def query_distances(graph: UndirectedGraph, query: Iterable[Hashable]) -> dict[Hashable, float]:
+    """Return ``dist(v, Q) = max_{q in Q} dist(v, q)`` for every node ``v``.
+
+    Nodes unreachable from some query node get distance ``inf``.  This is
+    Definition 3 of the paper and is computed with one BFS per query node,
+    exactly as Section 4.3 prescribes ("|Q| BFS traversals").
+    """
+    query_list = list(query)
+    if not query_list:
+        return {node: 0.0 for node in graph.nodes()}
+    maxima: dict[Hashable, float] = {node: 0.0 for node in graph.nodes()}
+    for query_node in query_list:
+        distances = bfs_distances(graph, query_node)
+        for node in maxima:
+            distance = distances.get(node, _INF)
+            if distance > maxima[node]:
+                maxima[node] = distance
+    return maxima
+
+
+def graph_query_distance(graph: UndirectedGraph, query: Iterable[Hashable]) -> float:
+    """Return ``dist(G, Q) = max_{v in G} dist(v, Q)`` (Definition 3)."""
+    distances = query_distances(graph, query)
+    return max(distances.values()) if distances else 0.0

@@ -1,0 +1,29 @@
+"""Metrics: ground-truth quality, community structure and approximation bounds."""
+
+from repro.metrics.approximation import (
+    approximation_ratio,
+    diameter_bounds,
+    summarize_diameter_experiment,
+)
+from repro.metrics.quality import average_f1, f1_score, jaccard_index, precision, recall
+from repro.metrics.structure import (
+    community_statistics,
+    compare_to_reference,
+    percentage_retained,
+    reduction_ratio,
+)
+
+__all__ = [
+    "precision",
+    "recall",
+    "f1_score",
+    "jaccard_index",
+    "average_f1",
+    "community_statistics",
+    "percentage_retained",
+    "reduction_ratio",
+    "compare_to_reference",
+    "diameter_bounds",
+    "approximation_ratio",
+    "summarize_diameter_experiment",
+]

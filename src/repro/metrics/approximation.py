@@ -1,0 +1,70 @@
+"""Approximation-quality bookkeeping (Lemma 2 bounds, Figures 13-14).
+
+The optimal CTC diameter is NP-hard to compute, so the paper brackets it:
+
+* **LB-OPT**: the smallest graph query distance ``dist(R, Q)`` over the
+  communities found by ``Basic`` is a lower bound on the optimal diameter
+  (Lemma 2, first inequality, combined with Lemma 5's optimality of the
+  query distance).
+* **UB-OPT**: ``2 * dist(R, Q)`` upper-bounds the diameter of ``R`` itself
+  (Lemma 2, second inequality) and hence upper-bounds what the optimum could
+  force us to accept.
+
+Figure 13(a) plots the diameters of Basic/BD/LCTC against these two curves;
+Figure 14 repeats the exercise while capping the trussness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ctc.result import CommunityResult
+
+__all__ = [
+    "diameter_bounds",
+    "approximation_ratio",
+    "summarize_diameter_experiment",
+]
+
+
+def diameter_bounds(reference: CommunityResult) -> tuple[float, float]:
+    """Return ``(LB-OPT, UB-OPT)`` derived from a reference (Basic) result."""
+    query_distance = reference.query_distance
+    if query_distance in (0.0, float("inf")):
+        query_distance = reference.recompute_query_distance()
+    return query_distance, 2.0 * query_distance
+
+
+def approximation_ratio(result: CommunityResult, lower_bound: float) -> float:
+    """Return ``diam(result) / LB-OPT`` (1.0 when the lower bound is 0)."""
+    if lower_bound <= 0:
+        return 1.0
+    return result.diameter() / lower_bound
+
+
+def summarize_diameter_experiment(
+    results: Sequence[CommunityResult], reference: CommunityResult
+) -> dict[str, dict[str, float]]:
+    """Return per-method diameter, trussness and approximation ratio rows.
+
+    ``reference`` is the Basic run used to derive LB-OPT / UB-OPT; the rows
+    are keyed by each result's ``method`` label, plus ``"lb-opt"`` and
+    ``"ub-opt"`` pseudo-rows so the harness prints the same five curves the
+    paper's Figure 13(a) shows.
+    """
+    lower, upper = diameter_bounds(reference)
+    rows: dict[str, dict[str, float]] = {
+        "lb-opt": {"diameter": lower, "trussness": reference.trussness, "ratio": 1.0},
+        "ub-opt": {
+            "diameter": upper,
+            "trussness": reference.trussness,
+            "ratio": upper / lower if lower else 1.0,
+        },
+    }
+    for result in results:
+        rows[result.method] = {
+            "diameter": result.diameter(),
+            "trussness": result.trussness,
+            "ratio": approximation_ratio(result, lower),
+        }
+    return rows

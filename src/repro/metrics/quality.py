@@ -1,0 +1,57 @@
+"""Quality metrics against ground-truth communities (precision, recall, F1).
+
+Figure 12(a) of the paper scores each method by the F1 alignment between the
+community it returns and the ground-truth community its query nodes belong
+to, averaged over all query sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+__all__ = ["precision", "recall", "f1_score", "jaccard_index", "average_f1"]
+
+
+def _as_sets(found: Iterable[Hashable], truth: Iterable[Hashable]) -> tuple[set, set]:
+    return set(found), set(truth)
+
+
+def precision(found: Iterable[Hashable], truth: Iterable[Hashable]) -> float:
+    """Return ``|found ∩ truth| / |found|`` (1.0 for an empty found set)."""
+    found_set, truth_set = _as_sets(found, truth)
+    if not found_set:
+        return 1.0
+    return len(found_set & truth_set) / len(found_set)
+
+
+def recall(found: Iterable[Hashable], truth: Iterable[Hashable]) -> float:
+    """Return ``|found ∩ truth| / |truth|`` (1.0 for an empty truth set)."""
+    found_set, truth_set = _as_sets(found, truth)
+    if not truth_set:
+        return 1.0
+    return len(found_set & truth_set) / len(truth_set)
+
+
+def f1_score(found: Iterable[Hashable], truth: Iterable[Hashable]) -> float:
+    """Return the harmonic mean of precision and recall (0.0 when both are 0)."""
+    prec = precision(found, truth)
+    rec = recall(found, truth)
+    if prec + rec == 0.0:
+        return 0.0
+    return 2.0 * prec * rec / (prec + rec)
+
+
+def jaccard_index(found: Iterable[Hashable], truth: Iterable[Hashable]) -> float:
+    """Return ``|found ∩ truth| / |found ∪ truth|`` (1.0 when both are empty)."""
+    found_set, truth_set = _as_sets(found, truth)
+    union = found_set | truth_set
+    if not union:
+        return 1.0
+    return len(found_set & truth_set) / len(union)
+
+
+def average_f1(pairs: Sequence[tuple[Iterable[Hashable], Iterable[Hashable]]]) -> float:
+    """Return the mean F1 over ``(found, truth)`` pairs (0.0 for no pairs)."""
+    if not pairs:
+        return 0.0
+    return sum(f1_score(found, truth) for found, truth in pairs) / len(pairs)

@@ -1,0 +1,83 @@
+"""Structural metrics of a found community.
+
+These are the quantities the paper's figures report alongside runtime:
+
+* edge density (Figures 5-10c),
+* the FRE-avoidance percentage ``|V(R)| / |V(G0)|`` (Figures 5-10b),
+* diameter and trussness (Figures 13-14),
+* node/edge reduction relative to the Truss baseline (Figure 12c).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.ctc.result import CommunityResult
+from repro.graph.properties import edge_density
+from repro.graph.simple_graph import UndirectedGraph
+from repro.graph.traversal import diameter, graph_query_distance
+from repro.trusses.decomposition import graph_trussness
+
+__all__ = [
+    "community_statistics",
+    "reduction_ratio",
+    "percentage_retained",
+    "compare_to_reference",
+]
+
+
+def community_statistics(
+    graph: UndirectedGraph, query: Sequence[Hashable] | None = None
+) -> dict[str, float]:
+    """Return the headline structural statistics of a community subgraph."""
+    stats: dict[str, float] = {
+        "nodes": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "density": edge_density(graph),
+        "diameter": diameter(graph),
+        "trussness": graph_trussness(graph),
+    }
+    if query is not None:
+        stats["query_distance"] = graph_query_distance(graph, query)
+    return stats
+
+
+def percentage_retained(community: UndirectedGraph, reference: UndirectedGraph) -> float:
+    """Return ``100 * |V(community)| / |V(reference)|`` (the paper's "percentage")."""
+    if reference.number_of_nodes() == 0:
+        return 100.0
+    return 100.0 * community.number_of_nodes() / reference.number_of_nodes()
+
+
+def reduction_ratio(community: UndirectedGraph, reference: UndirectedGraph) -> dict[str, float]:
+    """Return node and edge counts of both graphs plus retention ratios (Figure 12c)."""
+    ref_nodes = reference.number_of_nodes()
+    ref_edges = reference.number_of_edges()
+    return {
+        "reference_nodes": ref_nodes,
+        "reference_edges": ref_edges,
+        "community_nodes": community.number_of_nodes(),
+        "community_edges": community.number_of_edges(),
+        "node_retention": community.number_of_nodes() / ref_nodes if ref_nodes else 1.0,
+        "edge_retention": community.number_of_edges() / ref_edges if ref_edges else 1.0,
+    }
+
+
+def compare_to_reference(
+    result: CommunityResult, reference: CommunityResult
+) -> dict[str, float]:
+    """Compare a method's result against the Truss baseline result.
+
+    Returns the percentage of reference nodes kept, the density of both
+    communities, and the elapsed-time ratio — one row of the Figures 5-10
+    panels.
+    """
+    return {
+        "percentage": percentage_retained(result.graph, reference.graph),
+        "density": result.density(),
+        "reference_density": reference.density(),
+        "elapsed_seconds": result.elapsed_seconds,
+        "reference_elapsed_seconds": reference.elapsed_seconds,
+        "trussness": result.trussness,
+        "reference_trussness": reference.trussness,
+    }

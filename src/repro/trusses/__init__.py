@@ -1,0 +1,42 @@
+"""Truss machinery: decomposition, the truss index, FindG0 and maintenance."""
+
+from repro.trusses.decomposition import (
+    graph_trussness,
+    k_truss_subgraph,
+    max_trussness,
+    maximal_k_truss_edges,
+    truss_decomposition,
+    vertex_trussness,
+)
+from repro.trusses.extraction import (
+    find_connected_truss_at_k,
+    find_maximal_connected_truss,
+    validate_query,
+)
+from repro.trusses.index import TrussIndex
+from repro.trusses.kcore import (
+    core_decomposition,
+    degeneracy_core,
+    k_core_subgraph,
+    minimum_degree,
+)
+from repro.trusses.maintenance import KTrussMaintainer, restore_k_truss
+
+__all__ = [
+    "truss_decomposition",
+    "vertex_trussness",
+    "graph_trussness",
+    "max_trussness",
+    "maximal_k_truss_edges",
+    "k_truss_subgraph",
+    "TrussIndex",
+    "find_maximal_connected_truss",
+    "find_connected_truss_at_k",
+    "validate_query",
+    "KTrussMaintainer",
+    "restore_k_truss",
+    "core_decomposition",
+    "k_core_subgraph",
+    "degeneracy_core",
+    "minimum_degree",
+]

@@ -1,0 +1,204 @@
+"""FindG0 (Algorithm 2): the maximal connected k-truss containing Q with the largest k.
+
+Given a truss index, the procedure starts from the upper bound
+``k = min_q tau(q)`` (Lemma 1) and explores edges in decreasing order of
+trussness, BFS-style, until the query nodes become connected.  The connected
+component of the query inside the explored edge set, restricted to edges of
+trussness >= k, is the answer ``G0``.
+
+Two entry points are provided:
+
+* :func:`find_maximal_connected_truss` — the paper's FindG0: maximise k.
+* :func:`find_connected_truss_at_k` — the "given k" variant (used by the
+  trussness-as-a-constraint experiments of Figure 14 and Section 7.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Sequence
+
+from repro.exceptions import NoCommunityFoundError, QueryError
+from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.components import nodes_are_connected
+from repro.trusses.index import TrussIndex
+
+__all__ = [
+    "find_maximal_connected_truss",
+    "find_connected_truss_at_k",
+    "validate_query",
+]
+
+
+def validate_query(index_graph: UndirectedGraph, query: Sequence[Hashable]) -> list[Hashable]:
+    """Validate and normalise a query node sequence.
+
+    Deduplicates while preserving order, and checks non-emptiness and
+    membership in the graph.
+
+    Raises
+    ------
+    QueryError
+        If the query is empty or contains nodes missing from the graph.
+    """
+    normalized = list(dict.fromkeys(query))
+    if not normalized:
+        raise QueryError("the query node set must not be empty")
+    missing = [node for node in normalized if not index_graph.has_node(node)]
+    if missing:
+        raise QueryError(f"query nodes not present in the graph: {missing!r}")
+    return normalized
+
+
+def find_maximal_connected_truss(
+    index: TrussIndex, query: Sequence[Hashable]
+) -> tuple[UndirectedGraph, int]:
+    """Return ``(G0, k)``: the maximal connected k-truss containing ``query`` with largest k.
+
+    Implements Algorithm 2 of the paper on top of :class:`TrussIndex`.  The
+    exploration maintains, per trussness level, the set of frontier vertices
+    whose incident edges at that level have not yet been scanned; levels are
+    processed from ``min_q tau(q)`` downward until the query nodes fall into
+    a single connected component of the explored subgraph.
+
+    Raises
+    ------
+    QueryError
+        If the query is invalid.
+    NoCommunityFoundError
+        If no connected k-truss (k >= 2) contains all query nodes (e.g. the
+        query spans different connected components of the graph).
+    """
+    graph = index.graph
+    query_nodes = validate_query(graph, query)
+
+    upper_bound = min(index.vertex_trussness(node) for node in query_nodes)
+    if upper_bound < 2:
+        # Some query vertex is isolated; a single isolated query node is its
+        # own trivial community only when |Q| == 1, which we represent as a
+        # single-node graph of trussness 2 (no edges).
+        if len(query_nodes) == 1:
+            lonely = UndirectedGraph()
+            lonely.add_node(query_nodes[0])
+            return lonely, 2
+        raise NoCommunityFoundError(
+            "a query node is isolated; no connected truss contains the whole query"
+        )
+
+    explored = UndirectedGraph()
+    explored.add_nodes_from(query_nodes)
+    # pending[k] holds vertices to (re)visit when the exploration reaches level k.
+    pending: dict[int, set[Hashable]] = {upper_bound: set(query_nodes)}
+    visited_at: dict[Hashable, int] = {}
+    k = upper_bound
+
+    while k >= 2:
+        frontier = deque(pending.pop(k, ()))
+        processed_this_level: set[Hashable] = set()
+        while frontier:
+            node = frontier.popleft()
+            if node in processed_this_level:
+                continue
+            processed_this_level.add(node)
+            previously_seen_level = visited_at.get(node)
+            if previously_seen_level is None:
+                # First visit: take every incident edge with trussness >= k.
+                low, high = k, float("inf")
+            else:
+                # Seen at a higher level before: only edges in [k, previous).
+                low, high = k, previously_seen_level
+            visited_at[node] = k
+            explored.add_node(node)
+            for neighbor, _trussness in index.incident_edges_in_range(node, low, high):
+                explored.add_edge(node, neighbor)
+                if neighbor not in processed_this_level:
+                    frontier.append(neighbor)
+            next_level = index.next_level_below(node, k)
+            if next_level is not None:
+                pending.setdefault(next_level, set()).add(node)
+
+        if nodes_are_connected(explored, query_nodes):
+            component = _component_with_trussness_at_least(index, explored, query_nodes, k)
+            if component is not None:
+                return component, k
+        # Drop to the next level at which anything is pending (or k - 1 if
+        # pending levels are sparse, to keep the scan bounded).
+        lower_levels = [level for level in pending if level < k]
+        if not lower_levels:
+            break
+        k = max(lower_levels)
+
+    raise NoCommunityFoundError(
+        f"no connected k-truss (k >= 2) contains all query nodes {query_nodes!r}"
+    )
+
+
+def _component_with_trussness_at_least(
+    index: TrussIndex,
+    explored: UndirectedGraph,
+    query_nodes: Sequence[Hashable],
+    k: int,
+) -> UndirectedGraph | None:
+    """Return the connected component of the level-k truss edges containing the query.
+
+    The explored graph may contain edges of trussness above ``k`` from earlier
+    levels plus the level-k edges; all of them have trussness >= k so the
+    component containing the query is exactly the paper's ``G0``.  Returns
+    ``None`` if the query nodes are not all inside one component.
+    """
+    if not nodes_are_connected(explored, query_nodes):
+        return None
+    component_nodes = _bfs_nodes(explored, query_nodes[0])
+    if any(node not in component_nodes for node in query_nodes):
+        return None
+    component = explored.subgraph(component_nodes)
+    # Defensive check: every retained edge must have trussness >= k.
+    for u, v in component.edges():
+        if index.edge_trussness(u, v) < k:
+            component.remove_edge(u, v)
+    return component
+
+
+def _bfs_nodes(graph: UndirectedGraph, start: Hashable) -> set[Hashable]:
+    seen = {start}
+    queue: deque[Hashable] = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return seen
+
+
+def find_connected_truss_at_k(
+    index: TrussIndex, query: Sequence[Hashable], k: int
+) -> UndirectedGraph:
+    """Return the connected k-truss containing the query at the *given* level ``k``.
+
+    This is the constrained variant discussed in Section 7.1 ("treat the
+    desired trussness k as a constraint instead of maximizing trussness") and
+    exercised by the Figure 14 experiment.  The connected component of the
+    maximal k-truss that contains all query nodes is returned.
+
+    Raises
+    ------
+    NoCommunityFoundError
+        If no connected k-truss at level ``k`` contains all the query nodes.
+    """
+    graph = index.graph
+    query_nodes = validate_query(graph, query)
+    if k < 2:
+        raise QueryError(f"trussness level must be >= 2, got {k}")
+
+    qualifying = UndirectedGraph()
+    qualifying.add_nodes_from(query_nodes)
+    for (u, v), trussness in index.all_edge_trussness().items():
+        if trussness >= k:
+            qualifying.add_edge(u, v)
+    if not nodes_are_connected(qualifying, query_nodes):
+        raise NoCommunityFoundError(
+            f"query nodes are not connected in the maximal {k}-truss"
+        )
+    component_nodes = _bfs_nodes(qualifying, query_nodes[0])
+    return qualifying.subgraph(component_nodes)

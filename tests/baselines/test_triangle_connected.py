@@ -1,0 +1,75 @@
+"""Tests for the triangle-connected k-truss community model (the intro's foil)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.triangle_connected import (
+    TriangleConnectedCommunity,
+    triangle_connected_classes,
+)
+from repro.exceptions import NoCommunityFoundError
+from repro.graph.generators import complete_graph
+from repro.graph.simple_graph import edge_key
+from repro.trusses.index import TrussIndex
+
+
+class TestTriangleConnectedClasses:
+    def test_clique_is_one_class(self, k5):
+        classes = triangle_connected_classes(k5)
+        assert len(classes) == 1
+        assert len(classes[0]) == 10
+
+    def test_two_cliques_joined_by_bridge_are_separate_classes(self, figure4):
+        # The bridge edge (t1, t2) has no triangle, so it forms its own class
+        # and the two 4-cliques stay triangle-disconnected.
+        classes = triangle_connected_classes(figure4)
+        sizes = sorted(len(edge_class) for edge_class in classes)
+        assert sizes == [1, 6, 6]
+
+    def test_figure1_grey_region_splits_at_q3(self, figure1):
+        """The p-clique and the v-side are only edge-connected through q3; the
+        edges (q3, p_i) and (q3, v_j) never share a triangle, so the grey
+        4-truss splits into two triangle-connected classes."""
+        grey = figure1.subgraph(
+            {"q1", "q2", "q3", "v1", "v2", "v3", "v4", "v5", "p1", "p2", "p3"}
+        )
+        classes = triangle_connected_classes(grey)
+        assert len(classes) == 2
+        class_with_p = next(cls for cls in classes if edge_key("p1", "p2") in cls)
+        assert edge_key("q1", "q2") not in class_with_p
+
+
+class TestTriangleConnectedCommunity:
+    def test_single_query_node_finds_its_clique(self, figure1_index):
+        result = TriangleConnectedCommunity(figure1_index).search(["p1"])
+        assert result.method == "triangle-truss"
+        assert result.trussness == 4
+        assert result.nodes == {"q3", "p1", "p2", "p3"}
+
+    def test_intro_limitation_example(self, figure1_index):
+        """Section 1: for Q = {v4, q3, p1} the triangle-connected model finds
+        no community at any k, because (v4, q3) and (q3, p1) are never
+        triangle connected."""
+        with pytest.raises(NoCommunityFoundError):
+            TriangleConnectedCommunity(figure1_index).search(["v4", "q3", "p1"])
+
+    def test_ctc_succeeds_where_triangle_model_fails(self, figure1_index):
+        """The CTC model returns a community for the very query the
+        triangle-connected model rejects — the paper's motivating contrast."""
+        from repro.ctc.bulk_delete import BulkDeleteCTC
+
+        result = BulkDeleteCTC(figure1_index).search(["v4", "q3", "p1"])
+        assert result.contains_query()
+        assert result.trussness >= 2
+
+    def test_query_inside_one_clique(self, figure1_index):
+        result = TriangleConnectedCommunity(figure1_index).search(["q1", "q2"])
+        assert {"q1", "q2", "v1", "v2"} <= result.nodes
+        assert result.trussness == 4
+
+    def test_complete_graph(self):
+        graph = complete_graph(6)
+        result = TriangleConnectedCommunity(TrussIndex(graph)).search([0, 5])
+        assert result.trussness == 6
+        assert result.nodes == set(range(6))

@@ -1,0 +1,95 @@
+"""Shared fixtures for the whole test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.paper_figures import (
+    figure_1_graph,
+    figure_1_query,
+    figure_4_graph,
+    figure_4_query,
+)
+from repro.datasets.synthetic import CommunityProfile, generate_community_network
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.simple_graph import UndirectedGraph
+from repro.trusses.index import TrussIndex
+
+
+@pytest.fixture
+def figure1():
+    """The Figure 1(a) reconstruction."""
+    return figure_1_graph()
+
+
+@pytest.fixture
+def figure1_query():
+    """The query of Examples 1/4/7."""
+    return list(figure_1_query())
+
+
+@pytest.fixture
+def figure1_index(figure1):
+    """A truss index over Figure 1(a)."""
+    return TrussIndex(figure1)
+
+
+@pytest.fixture
+def figure4():
+    """The Figure 4 reconstruction (two cliques joined by a weak bridge)."""
+    return figure_4_graph()
+
+
+@pytest.fixture
+def figure4_query():
+    """The query of Example 6."""
+    return list(figure_4_query())
+
+
+@pytest.fixture
+def k4():
+    """A 4-clique (the smallest 4-truss)."""
+    return complete_graph(4)
+
+
+@pytest.fixture
+def k5():
+    """A 5-clique."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def triangle():
+    """A single triangle (3-truss)."""
+    return UndirectedGraph([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4():
+    """A 4-node path (trussness 2 everywhere)."""
+    return UndirectedGraph([(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def random_graph():
+    """A fixed Erdos-Renyi graph used for oracle comparisons."""
+    return erdos_renyi_graph(40, 0.15, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """A small synthetic community network with ground truth (session-scoped)."""
+    return generate_community_network(
+        name="test-net",
+        num_nodes=150,
+        profiles=[CommunityProfile(count=8, size_range=(8, 14), p_in=0.7)],
+        overlap_fraction=0.1,
+        background_density=0.002,
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_network_index(small_network):
+    """A truss index over the small synthetic network (session-scoped)."""
+    return TrussIndex(small_network.graph)

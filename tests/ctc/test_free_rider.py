@@ -1,0 +1,83 @@
+"""Unit tests for the free-rider-effect analysis helpers (Section 3.2)."""
+
+from __future__ import annotations
+
+from repro.ctc.basic import BasicCTC
+from repro.ctc.free_rider import (
+    free_riders,
+    retained_edge_percentage,
+    retained_node_percentage,
+    suffers_free_rider_effect,
+)
+from repro.datasets.paper_figures import figure_1_free_riders
+from repro.trusses.extraction import find_maximal_connected_truss
+
+
+class TestRetention:
+    def test_identical_graphs_are_100_percent(self, k4):
+        assert retained_node_percentage(k4, k4) == 100.0
+        assert retained_edge_percentage(k4, k4) == 100.0
+
+    def test_empty_reference_convention(self, k4):
+        from repro.graph.simple_graph import UndirectedGraph
+
+        assert retained_node_percentage(k4, UndirectedGraph()) == 100.0
+        assert retained_edge_percentage(k4, UndirectedGraph()) == 100.0
+
+    def test_figure1_basic_keeps_8_of_11_nodes(self, figure1_index, figure1_query):
+        g0, _k = find_maximal_connected_truss(figure1_index, figure1_query)
+        result = BasicCTC(figure1_index).search(figure1_query)
+        percentage = retained_node_percentage(result.graph, g0)
+        assert percentage == 100.0 * 8 / 11
+
+
+class TestFreeRiders:
+    def test_free_rider_nodes_identified(self, figure1_index, figure1_query):
+        g0, _k = find_maximal_connected_truss(figure1_index, figure1_query)
+        result = BasicCTC(figure1_index).search(figure1_query)
+        assert free_riders(result.graph, g0) == figure_1_free_riders()
+
+    def test_no_free_riders_when_equal(self, k4):
+        assert free_riders(k4, k4) == set()
+
+
+class TestFreeRiderEffectDefinition:
+    def test_ctc_does_not_suffer_fre_on_figure1(self, figure1, figure1_index, figure1_query):
+        """Proposition 1 instantiated: merging the CTC with the query-independent
+        4-truss around q3/p1/p2/p3 strictly increases the diameter."""
+        result = BasicCTC(figure1_index).search(figure1_query)
+        query_independent = figure1.subgraph({"q3", "p1", "p2", "p3"})
+        assert not suffers_free_rider_effect(
+            figure1, result.graph, query_independent, figure1_query
+        )
+
+    def test_contained_optimum_is_not_counted_as_fre(self, figure1, figure1_index, figure1_query):
+        """When the query-independent optimum is already inside the community
+        (the p-clique lives inside G0), no *new* free riders are added and the
+        check reports False by convention."""
+        g0, _k = find_maximal_connected_truss(figure1_index, figure1_query)
+        query_independent = figure1.subgraph({"q3", "p1", "p2", "p3"})
+        assert not suffers_free_rider_effect(figure1, g0, query_independent, figure1_query)
+
+    def test_loose_community_does_suffer_fre(self):
+        """A loose, path-shaped 'community' absorbs a dense clique for free:
+        the union's diameter does not exceed the community's own diameter, so
+        Definition 6 flags the free-rider effect."""
+        from repro.graph.simple_graph import UndirectedGraph
+
+        graph = UndirectedGraph(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (2, 6), (2, 7), (5, 6), (5, 7), (6, 7)]
+        )
+        loose_community = graph.subgraph({0, 1, 2, 3, 4})
+        dense_optimum = graph.subgraph({2, 5, 6, 7})
+        assert suffers_free_rider_effect(graph, loose_community, dense_optimum, [0, 4])
+
+    def test_subset_optimum_is_not_fre(self, figure1, figure1_index, figure1_query):
+        result = BasicCTC(figure1_index).search(figure1_query)
+        inside = figure1.subgraph({"q1", "q2", "v1", "v2"})
+        assert not suffers_free_rider_effect(figure1, result.graph, inside, figure1_query)
+
+    def test_disconnected_union_is_not_fre(self, figure1, figure1_query):
+        community = figure1.subgraph({"q1", "q2", "v1", "v2"})
+        far_away = figure1.subgraph({"p1", "p2", "p3"})
+        assert not suffers_free_rider_effect(figure1, community, far_away, ["q1", "q2"])

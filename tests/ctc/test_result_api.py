@@ -1,0 +1,95 @@
+"""Unit tests for CommunityResult and the top-level search() facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctc.api import available_methods, build_index, search
+from repro.ctc.result import CommunityResult
+from repro.exceptions import ConfigurationError, NoCommunityFoundError, QueryError
+from repro.graph.generators import complete_graph
+from repro.graph.simple_graph import UndirectedGraph
+from repro.trusses.index import TrussIndex
+
+
+class TestCommunityResult:
+    def test_basic_accessors(self, k4):
+        result = CommunityResult(graph=k4, query=(0, 1), trussness=4, method="test")
+        assert result.nodes == {0, 1, 2, 3}
+        assert result.num_nodes == 4
+        assert result.num_edges == 6
+        assert result.density() == pytest.approx(1.0)
+        assert result.diameter() == 1
+        assert result.contains_query()
+
+    def test_contains_query_false_when_node_missing(self, k4):
+        result = CommunityResult(graph=k4, query=(0, 99), trussness=4, method="test")
+        assert not result.contains_query()
+
+    def test_recompute_query_distance(self, path4):
+        result = CommunityResult(graph=path4, query=(0,), trussness=2, method="test")
+        assert result.recompute_query_distance() == 3
+        assert result.query_distance == 3
+
+    def test_summary_keys(self, k4):
+        result = CommunityResult(graph=k4, query=(0,), trussness=4, method="test")
+        summary = result.summary()
+        assert summary["method"] == "test"
+        assert summary["num_nodes"] == 4
+        assert summary["trussness"] == 4
+
+    def test_repr(self, k4):
+        result = CommunityResult(graph=k4, query=(0,), trussness=4, method="test")
+        assert "method='test'" in repr(result)
+
+
+class TestSearchFacade:
+    def test_available_methods(self):
+        methods = available_methods()
+        assert set(methods) == {"basic", "bulk-delete", "lctc", "truss", "mdc", "qdc"}
+
+    @pytest.mark.parametrize("method", ["basic", "bulk-delete", "lctc", "truss", "mdc", "qdc"])
+    def test_every_method_runs_on_figure1(self, figure1, figure1_query, method):
+        result = search(figure1, figure1_query, method=method, eta=50)
+        assert result.method == method
+        assert result.contains_query()
+        assert result.num_nodes >= 3
+
+    def test_accepts_prebuilt_index(self, figure1, figure1_query):
+        index = build_index(figure1)
+        assert isinstance(index, TrussIndex)
+        result = search(index, figure1_query, method="bulk-delete")
+        assert result.trussness == 4
+
+    def test_default_method_is_lctc(self, figure1, figure1_query):
+        result = search(figure1, figure1_query, eta=50)
+        assert result.method == "lctc"
+
+    def test_unknown_method_raises(self, figure1, figure1_query):
+        with pytest.raises(ConfigurationError):
+            search(figure1, figure1_query, method="magic")
+
+    def test_empty_query_raises(self, figure1):
+        with pytest.raises(QueryError):
+            search(figure1, [], method="lctc")
+
+    def test_disconnected_query_raises(self):
+        graph = UndirectedGraph([(1, 2), (2, 3), (1, 3), (7, 8), (8, 9), (7, 9)])
+        with pytest.raises(NoCommunityFoundError):
+            search(graph, [1, 7], method="truss")
+
+    def test_max_trussness_cap_via_facade(self, figure1, figure1_query):
+        result = search(figure1, figure1_query, method="lctc", eta=50, max_trussness_k=3)
+        assert result.trussness <= 3
+
+    def test_quickstart_docstring_example(self):
+        graph = complete_graph(4)
+        result = search(graph, [0, 1], method="bulk-delete")
+        assert result.trussness == 4
+
+    def test_package_level_reexports(self):
+        import repro
+
+        assert repro.search is search
+        assert repro.available_methods() == available_methods()
+        assert repro.__version__

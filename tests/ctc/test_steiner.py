@@ -1,0 +1,120 @@
+"""Unit tests for truss-distance Steiner trees (Definition 7, Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctc.steiner import (
+    build_truss_steiner_tree,
+    minimum_trussness_of_tree,
+    truss_distance_between,
+    truss_distance_closure,
+)
+from repro.exceptions import QueryError
+from repro.graph.components import is_connected
+from repro.graph.simple_graph import UndirectedGraph
+from repro.trusses.index import TrussIndex
+
+
+class TestTrussDistance:
+    def test_section_5_2_worked_example(self, figure1_index):
+        """With gamma = 3 the penalty for touching the trussness-2 bridge is
+        3 * (4 - 2) = 6, so the best q2 -> q3 path stays on trussness-4 edges
+        (q2 - v5 - q3, two hops, zero penalty)."""
+        value, path = truss_distance_between(figure1_index, "q2", "q3", gamma=3.0)
+        assert value == 2
+        assert path is not None
+        assert "t" not in path
+
+    def test_zero_gamma_reduces_to_hop_distance(self, figure1_index):
+        value, path = truss_distance_between(figure1_index, "q1", "q3", gamma=0.0)
+        assert value == 2  # q1 - t - q3 is the shortest hop path
+        assert path == ["q1", "t", "q3"]
+
+    def test_large_gamma_avoids_weak_bridge(self, figure1_index):
+        value, path = truss_distance_between(figure1_index, "q1", "q3", gamma=3.0)
+        assert path is not None
+        assert "t" not in path
+        assert value == 3  # three hops through trussness-4 edges, no penalty
+
+    def test_same_node_distance_zero(self, figure1_index):
+        value, path = truss_distance_between(figure1_index, "q1", "q1", gamma=3.0)
+        assert value == 0.0
+        assert path == ["q1"]
+
+    def test_disconnected_nodes(self):
+        graph = UndirectedGraph([(1, 2), (3, 4)])
+        index = TrussIndex(graph)
+        value, path = truss_distance_between(index, 1, 3, gamma=1.0)
+        assert value == float("inf")
+        assert path is None
+
+    def test_figure4_prefers_intra_clique_paths(self, figure4):
+        index = TrussIndex(figure4)
+        # Within one clique the distance is 1 hop with zero penalty.
+        value, path = truss_distance_between(index, "q1", "v1", gamma=3.0)
+        assert value == 1
+        # Across the bridge the penalty 3 * (4 - 2) = 6 is unavoidable.
+        cross_value, cross_path = truss_distance_between(index, "q1", "q2", gamma=3.0)
+        assert cross_path is not None
+        assert cross_value == pytest.approx(3 + 6)
+
+    def test_closure_contains_all_pairs(self, figure1_index):
+        closure = truss_distance_closure(figure1_index, ["q1", "q2", "q3"], gamma=3.0)
+        assert len(closure) == 3
+        for (_u, _v), (value, path) in closure.items():
+            assert value >= 1
+            assert len(path) >= 2
+
+
+class TestSteinerTree:
+    def test_tree_spans_terminals_and_is_a_tree(self, figure1_index):
+        tree = build_truss_steiner_tree(figure1_index, ["q1", "q2", "q3"], gamma=3.0)
+        for terminal in ("q1", "q2", "q3"):
+            assert tree.has_node(terminal)
+        assert is_connected(tree)
+        assert tree.number_of_edges() == tree.number_of_nodes() - 1
+
+    def test_tree_avoids_low_trussness_bridge(self, figure1_index):
+        """The Section 5.2 discussion: the tree through t (trussness 2) must
+        lose to the tree through v4/v5 (trussness 4) under the truss distance."""
+        tree = build_truss_steiner_tree(figure1_index, ["q1", "q2", "q3"], gamma=3.0)
+        assert not tree.has_node("t")
+        assert minimum_trussness_of_tree(figure1_index, tree) == 4
+
+    def test_gamma_zero_may_use_the_shortcut(self, figure1_index):
+        tree = build_truss_steiner_tree(figure1_index, ["q1", "q3"], gamma=0.0)
+        # Pure hop distance: q1 - t - q3 (length 2) beats the length-3 path.
+        assert tree.has_node("t")
+
+    def test_single_terminal(self, figure1_index):
+        tree = build_truss_steiner_tree(figure1_index, ["q2"], gamma=3.0)
+        assert tree.node_set() == {"q2"}
+        assert tree.number_of_edges() == 0
+
+    def test_two_adjacent_terminals(self, figure1_index):
+        tree = build_truss_steiner_tree(figure1_index, ["q1", "q2"], gamma=3.0)
+        assert tree.edge_set() == {("q1", "q2")}
+
+    def test_empty_terminals_raise(self, figure1_index):
+        with pytest.raises(QueryError):
+            build_truss_steiner_tree(figure1_index, [], gamma=3.0)
+
+    def test_disconnected_terminals_raise(self):
+        graph = UndirectedGraph([(1, 2), (2, 3), (5, 6), (6, 7)])
+        index = TrussIndex(graph)
+        with pytest.raises(QueryError):
+            build_truss_steiner_tree(index, [1, 5], gamma=1.0)
+
+    def test_no_nonterminal_leaves(self, small_network_index):
+        graph = small_network_index.graph
+        terminals = sorted(graph.nodes())[:4]
+        tree = build_truss_steiner_tree(small_network_index, terminals, gamma=3.0)
+        for node in tree.nodes():
+            if node not in terminals:
+                assert tree.degree(node) >= 2
+
+    def test_minimum_trussness_of_edgeless_tree(self, figure1_index):
+        tree = UndirectedGraph()
+        tree.add_node("q2")
+        assert minimum_trussness_of_tree(figure1_index, tree) == 4

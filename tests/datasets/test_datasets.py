@@ -1,0 +1,233 @@
+"""Unit tests for the dataset layer: fixtures, synthetic networks, registry, queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.collaboration import CASE_STUDY_QUERY, build_collaboration_network
+from repro.datasets.paper_figures import (
+    example_2_cycle_nodes,
+    figure_1_expected_ctc_nodes,
+    figure_1_free_riders,
+    figure_1_graph,
+    figure_1_grey_nodes,
+    figure_1_query,
+    figure_4_graph,
+    figure_4_query,
+)
+from repro.datasets.queries import QueryWorkloadGenerator, ground_truth_query_sets
+from repro.datasets.registry import (
+    PAPER_NETWORKS,
+    dataset_names,
+    dataset_spec,
+    load_all_datasets,
+    load_dataset,
+)
+from repro.datasets.synthetic import CommunityProfile, generate_community_network
+from repro.exceptions import ConfigurationError
+from repro.graph.components import is_connected, nodes_are_connected
+from repro.graph.traversal import diameter, shortest_path_length
+from repro.graph.triangles import all_edge_supports
+from repro.trusses.decomposition import graph_trussness, max_trussness, truss_decomposition
+
+
+class TestFigure1Fixture:
+    def test_grey_region_is_a_4_truss_of_diameter_4(self):
+        graph = figure_1_graph()
+        grey = graph.subgraph(figure_1_grey_nodes())
+        assert graph_trussness(grey) == 4
+        assert diameter(grey) == 4
+
+    def test_expected_ctc_is_a_4_truss_of_diameter_3(self):
+        graph = figure_1_graph()
+        community = graph.subgraph(figure_1_expected_ctc_nodes())
+        assert graph_trussness(community) == 4
+        assert diameter(community) == 3
+
+    def test_max_trussness_is_4(self):
+        assert max_trussness(figure_1_graph()) == 4
+
+    def test_support_of_q2_v2_is_3(self):
+        supports = all_edge_supports(figure_1_graph())
+        assert supports[("q2", "v2")] == 3
+
+    def test_example_2_cycle_exists(self):
+        graph = figure_1_graph()
+        cycle = example_2_cycle_nodes()
+        subgraph = graph.subgraph(cycle)
+        assert subgraph.number_of_edges() >= 5
+        assert diameter(subgraph) == 2
+
+    def test_query_and_free_riders_disjoint(self):
+        assert set(figure_1_query()).isdisjoint(figure_1_free_riders())
+
+    def test_free_riders_plus_ctc_cover_grey(self):
+        assert figure_1_expected_ctc_nodes() | figure_1_free_riders() == figure_1_grey_nodes()
+
+
+class TestFigure4Fixture:
+    def test_bridge_is_the_only_weak_edge(self):
+        trussness = truss_decomposition(figure_4_graph())
+        weak = [edge for edge, value in trussness.items() if value == 2]
+        assert weak == [("t1", "t2")]
+
+    def test_query_nodes_have_trussness_4(self):
+        graph = figure_4_graph()
+        trussness = truss_decomposition(graph)
+        for query_node in figure_4_query():
+            incident = [value for (u, v), value in trussness.items() if query_node in (u, v)]
+            assert max(incident) == 4
+
+
+class TestSyntheticGenerator:
+    def test_reproducible(self):
+        profiles = [CommunityProfile(count=5, size_range=(6, 10), p_in=0.7)]
+        first = generate_community_network("x", 100, profiles, seed=1)
+        second = generate_community_network("x", 100, profiles, seed=1)
+        assert first.graph == second.graph
+        assert first.communities == second.communities
+
+    def test_network_is_connected_with_ground_truth(self, small_network):
+        assert is_connected(small_network.graph)
+        assert len(small_network.communities) == 8
+        assert small_network.nodes_in_unique_community()
+
+    def test_communities_are_dense(self, small_network):
+        for community in small_network.communities:
+            subgraph = small_network.graph.subgraph(community)
+            assert subgraph.number_of_edges() >= len(community)  # well above a tree
+
+    def test_communities_of_lookup(self, small_network):
+        node = next(iter(small_network.communities[0]))
+        assert any(node in community for community in small_network.communities_of(node))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_community_network("x", 5, [CommunityProfile(1, (3, 4), 0.5)])
+        with pytest.raises(ConfigurationError):
+            generate_community_network("x", 100, [])
+        with pytest.raises(ConfigurationError):
+            CommunityProfile(count=1, size_range=(2, 4), p_in=0.5).validate()
+        with pytest.raises(ConfigurationError):
+            CommunityProfile(count=1, size_range=(4, 5), p_in=0.0).validate()
+
+    def test_summary(self, small_network):
+        summary = small_network.summary()
+        assert summary["nodes"] == small_network.graph.number_of_nodes()
+        assert summary["communities"] == 8
+
+
+class TestRegistry:
+    def test_six_stand_ins_registered(self):
+        names = dataset_names()
+        assert len(names) == 6
+        assert set(PAPER_NETWORKS) == {
+            "Facebook", "Amazon", "DBLP", "Youtube", "LiveJournal", "Orkut",
+        }
+
+    def test_specs_reference_paper_networks(self):
+        for name in dataset_names():
+            assert dataset_spec(name).paper_counterpart in PAPER_NETWORKS
+
+    def test_load_dataset_cached(self):
+        first = load_dataset("facebook-like")
+        second = load_dataset("facebook-like")
+        assert first is second
+
+    def test_load_dataset_uncached_rebuilds(self):
+        first = load_dataset("facebook-like", use_cache=False)
+        second = load_dataset("facebook-like", use_cache=False)
+        assert first is not second
+        assert first.graph == second.graph
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("snap-orkut-full")
+        with pytest.raises(ConfigurationError):
+            dataset_spec("nope")
+
+    def test_facebook_like_profile(self):
+        network = load_dataset("facebook-like")
+        assert is_connected(network.graph)
+        assert network.graph.number_of_nodes() <= 500
+        # Dense enough to host non-trivial trusses.
+        assert max_trussness(network.graph) >= 5
+
+    @pytest.mark.slow
+    def test_all_datasets_load_and_are_connected(self):
+        for name, network in load_all_datasets().items():
+            assert is_connected(network.graph), name
+            assert network.communities, name
+
+
+class TestQueryWorkloads:
+    def test_random_queries_deterministic(self, small_network):
+        first = QueryWorkloadGenerator(small_network.graph, seed=3).random_queries(3, 5)
+        second = QueryWorkloadGenerator(small_network.graph, seed=3).random_queries(3, 5)
+        assert first == second
+
+    def test_random_queries_size_and_membership(self, small_network):
+        queries = QueryWorkloadGenerator(small_network.graph, seed=1).random_queries(4, 6)
+        assert len(queries) == 6
+        for query in queries:
+            assert len(query) == 4
+            assert all(small_network.graph.has_node(node) for node in query)
+
+    def test_degree_rank_buckets_are_ordered(self, small_network):
+        generator = QueryWorkloadGenerator(small_network.graph, seed=2)
+        top = generator.degree_rank_queries(20, 3, 10)
+        bottom = generator.degree_rank_queries(100, 3, 10)
+        graph = small_network.graph
+        top_mean = sum(graph.degree(node) for query in top for node in query) / 30
+        bottom_mean = sum(graph.degree(node) for query in bottom for node in query) / 30
+        assert top_mean > bottom_mean
+
+    def test_degree_rank_invalid_bucket(self, small_network):
+        with pytest.raises(ConfigurationError):
+            QueryWorkloadGenerator(small_network.graph).degree_rank_queries(50, 3, 1)
+
+    def test_inter_distance_queries_respect_distance(self, small_network):
+        generator = QueryWorkloadGenerator(small_network.graph, seed=4)
+        queries = generator.inter_distance_queries(2, 3, 5)
+        graph = small_network.graph
+        for query in queries:
+            anchor = query[0]
+            for other in query[1:]:
+                assert shortest_path_length(graph, anchor, other) <= 2
+
+    def test_inter_distance_invalid(self, small_network):
+        with pytest.raises(ConfigurationError):
+            QueryWorkloadGenerator(small_network.graph).inter_distance_queries(0, 3, 1)
+
+    def test_ground_truth_queries_come_from_one_community(self, small_network):
+        pairs = ground_truth_query_sets(small_network, 10, size_range=(1, 4), seed=5)
+        assert len(pairs) == 10
+        for query, truth in pairs:
+            assert set(query) <= truth
+            assert nodes_are_connected(small_network.graph, query)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.simple_graph import UndirectedGraph
+
+        with pytest.raises(ConfigurationError):
+            QueryWorkloadGenerator(UndirectedGraph())
+
+
+class TestCollaborationNetwork:
+    def test_case_study_query_present_and_connected(self):
+        network = build_collaboration_network()
+        assert all(network.graph.has_node(author) for author in CASE_STUDY_QUERY)
+        assert nodes_are_connected(network.graph, CASE_STUDY_QUERY)
+
+    def test_core_community_is_dense_and_high_truss(self):
+        network = build_collaboration_network()
+        core = network.communities[0]
+        core_graph = network.graph.subgraph(core)
+        assert graph_trussness(core_graph) >= 9
+        assert len(core) == 14
+
+    def test_reproducible(self):
+        assert build_collaboration_network().graph == build_collaboration_network().graph
+
+    def test_network_is_connected(self):
+        assert is_connected(build_collaboration_network().graph)

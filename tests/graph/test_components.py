@@ -1,0 +1,114 @@
+"""Unit tests for connected components and the union-find helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.components import (
+    UnionFind,
+    component_count,
+    connected_component_containing,
+    connected_components,
+    is_connected,
+    largest_component,
+    nodes_are_connected,
+)
+from repro.graph.generators import complete_graph, path_graph
+from repro.graph.simple_graph import UndirectedGraph
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        graph = path_graph(4)
+        assert connected_components(graph) == [{0, 1, 2, 3}]
+
+    def test_multiple_components(self):
+        graph = UndirectedGraph([(1, 2), (3, 4), (4, 5)])
+        graph.add_node(9)
+        components = connected_components(graph)
+        assert sorted(map(len, components)) == [1, 2, 3]
+
+    def test_component_count(self):
+        graph = UndirectedGraph([(1, 2), (3, 4)])
+        assert component_count(graph) == 2
+
+    def test_largest_component(self):
+        graph = UndirectedGraph([(1, 2), (3, 4), (4, 5)])
+        assert largest_component(graph) == {3, 4, 5}
+
+    def test_largest_component_empty_graph(self):
+        assert largest_component(UndirectedGraph()) == set()
+
+    def test_component_containing(self):
+        graph = UndirectedGraph([(1, 2), (3, 4)])
+        assert connected_component_containing(graph, 3) == {3, 4}
+
+    def test_component_containing_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            connected_component_containing(UndirectedGraph(), 1)
+
+
+class TestIsConnected:
+    def test_empty_and_singleton_connected(self):
+        assert is_connected(UndirectedGraph())
+        single = UndirectedGraph()
+        single.add_node(1)
+        assert is_connected(single)
+
+    def test_connected_graph(self):
+        assert is_connected(complete_graph(5))
+
+    def test_disconnected_graph(self):
+        assert not is_connected(UndirectedGraph([(1, 2), (3, 4)]))
+
+
+class TestNodesAreConnected:
+    def test_connected_query(self):
+        graph = path_graph(5)
+        assert nodes_are_connected(graph, [0, 4])
+
+    def test_disconnected_query(self):
+        graph = UndirectedGraph([(1, 2), (3, 4)])
+        assert not nodes_are_connected(graph, [1, 3])
+
+    def test_missing_node_means_not_connected(self):
+        graph = path_graph(3)
+        assert not nodes_are_connected(graph, [0, 99])
+
+    def test_empty_and_singleton_queries(self):
+        graph = path_graph(3)
+        assert nodes_are_connected(graph, [])
+        assert nodes_are_connected(graph, [1])
+
+    def test_duplicates_ignored(self):
+        graph = path_graph(3)
+        assert nodes_are_connected(graph, [0, 0, 2])
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        union_find = UnionFind([1, 2, 3, 4])
+        assert union_find.union(1, 2)
+        assert union_find.union(3, 4)
+        assert union_find.connected(1, 2)
+        assert not union_find.connected(1, 3)
+        assert union_find.union(2, 3)
+        assert union_find.connected(1, 4)
+
+    def test_union_same_set_returns_false(self):
+        union_find = UnionFind()
+        union_find.union("a", "b")
+        assert not union_find.union("a", "b")
+
+    def test_find_adds_unknown_elements(self):
+        union_find = UnionFind()
+        assert union_find.find("new") == "new"
+
+    def test_groups_partition_elements(self):
+        union_find = UnionFind(range(6))
+        union_find.union(0, 1)
+        union_find.union(2, 3)
+        union_find.union(3, 4)
+        groups = union_find.groups()
+        assert sorted(sorted(group) for group in groups) == [[0, 1], [2, 3, 4], [5]]

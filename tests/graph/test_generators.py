@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    connect_components,
+    cycle_graph,
+    erdos_renyi_graph,
+    overlapping_community_graph,
+    path_graph,
+    planted_partition_graph,
+    random_regular_ish_graph,
+    relaxed_caveman_graph,
+    star_graph,
+)
+from repro.graph.simple_graph import UndirectedGraph
+
+
+class TestDeterministicGenerators:
+    def test_complete_graph(self):
+        graph = complete_graph(6)
+        assert graph.number_of_nodes() == 6
+        assert graph.number_of_edges() == 15
+
+    def test_complete_graph_offset(self):
+        graph = complete_graph(3, offset=10)
+        assert graph.node_set() == {10, 11, 12}
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.number_of_edges() == 5
+        assert all(graph.degree(node) == 2 for node in graph.nodes())
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+    def test_path_and_star(self):
+        assert path_graph(1).number_of_nodes() == 1
+        assert path_graph(5).number_of_edges() == 4
+        star = star_graph(7)
+        assert star.degree(0) == 7
+        assert star.number_of_edges() == 7
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_reproducible(self):
+        first = erdos_renyi_graph(30, 0.2, seed=3)
+        second = erdos_renyi_graph(30, 0.2, seed=3)
+        assert first == second
+
+    def test_erdos_renyi_different_seeds_differ(self):
+        assert erdos_renyi_graph(30, 0.2, seed=1) != erdos_renyi_graph(30, 0.2, seed=2)
+
+    def test_erdos_renyi_extreme_probabilities(self):
+        assert erdos_renyi_graph(10, 0.0, seed=0).number_of_edges() == 0
+        assert erdos_renyi_graph(10, 1.0, seed=0).number_of_edges() == 45
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_barabasi_albert_degrees(self):
+        graph = barabasi_albert_graph(100, 3, seed=1)
+        assert graph.number_of_nodes() == 100
+        # Every late node attaches with exactly 3 edges.
+        assert graph.number_of_edges() >= 3 * (100 - 4)
+        assert min(graph.degree(node) for node in graph.nodes()) >= 3
+
+    def test_barabasi_albert_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_graph(5, 5)
+
+    def test_relaxed_caveman(self):
+        graph = relaxed_caveman_graph(4, 5, 0.1, seed=2)
+        assert graph.number_of_nodes() == 20
+
+    def test_random_regular_ish(self):
+        graph = random_regular_ish_graph(40, 4, seed=0)
+        assert graph.number_of_nodes() == 40
+        assert all(graph.degree(node) <= 4 for node in graph.nodes())
+
+    def test_random_regular_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_ish_graph(5, 6)
+
+
+class TestCommunityGenerators:
+    def test_planted_partition_ground_truth(self):
+        graph, groups = planted_partition_graph(4, 10, p_in=0.8, p_out=0.02, seed=1)
+        assert graph.number_of_nodes() == 40
+        assert len(groups) == 4
+        assert all(len(group) == 10 for group in groups)
+
+    def test_planted_partition_invalid_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            planted_partition_graph(2, 5, p_in=0.1, p_out=0.5)
+
+    def test_overlapping_communities_cover_graph(self):
+        graph, communities = overlapping_community_graph(
+            num_nodes=120,
+            num_communities=10,
+            community_size_range=(8, 15),
+            p_in=0.6,
+            seed=4,
+        )
+        assert graph.number_of_nodes() == 120
+        assert is_connected(graph)
+        covered = set().union(*communities)
+        assert covered <= set(graph.nodes())
+        assert len(communities) == 10
+
+    def test_overlapping_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            overlapping_community_graph(50, 5, (2, 4))
+
+
+class TestConnectComponents:
+    def test_connects_disconnected_graph(self):
+        graph = UndirectedGraph([(1, 2), (3, 4), (5, 6)])
+        added = connect_components(graph)
+        assert added == 2
+        assert is_connected(graph)
+
+    def test_noop_on_connected_graph(self):
+        graph = path_graph(5)
+        assert connect_components(graph) == 0

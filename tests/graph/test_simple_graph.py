@@ -1,0 +1,204 @@
+"""Unit tests for the UndirectedGraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.simple_graph import UndirectedGraph, edge_key
+
+
+class TestEdgeKey:
+    def test_orders_comparable_endpoints(self):
+        assert edge_key(2, 1) == (1, 2)
+        assert edge_key(1, 2) == (1, 2)
+
+    def test_orders_string_endpoints(self):
+        assert edge_key("b", "a") == ("a", "b")
+
+    def test_mixed_types_are_ordered_by_repr(self):
+        key_one = edge_key("x", 1)
+        key_two = edge_key(1, "x")
+        assert key_one == key_two
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = UndirectedGraph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+        assert list(graph.nodes()) == []
+        assert list(graph.edges()) == []
+
+    def test_from_edges(self):
+        graph = UndirectedGraph([(1, 2), (2, 3)])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+
+    def test_from_adjacency_keeps_isolated_nodes(self):
+        graph = UndirectedGraph.from_adjacency({1: [2], 2: [1], 3: []})
+        assert graph.has_node(3)
+        assert graph.degree(3) == 0
+        assert graph.number_of_edges() == 1
+
+    def test_copy_is_independent(self):
+        graph = UndirectedGraph([(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert not graph.has_node(3)
+        assert clone.number_of_edges() == 2
+        assert graph.number_of_edges() == 1
+
+
+class TestNodes:
+    def test_add_node_idempotent(self):
+        graph = UndirectedGraph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.number_of_nodes() == 1
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = UndirectedGraph([(1, 2), (1, 3), (2, 3)])
+        graph.remove_node(1)
+        assert graph.number_of_edges() == 1
+        assert not graph.has_edge(1, 2)
+        assert graph.has_edge(2, 3)
+
+    def test_remove_missing_node_raises(self):
+        graph = UndirectedGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node(42)
+
+    def test_remove_nodes_from_ignores_missing(self):
+        graph = UndirectedGraph([(1, 2)])
+        graph.remove_nodes_from([2, 99])
+        assert graph.node_set() == {1}
+
+    def test_contains_and_iter(self):
+        graph = UndirectedGraph([(1, 2)])
+        assert 1 in graph
+        assert 3 not in graph
+        assert sorted(graph) == [1, 2]
+        assert len(graph) == 2
+
+
+class TestEdges:
+    def test_add_edge_creates_endpoints(self):
+        graph = UndirectedGraph()
+        graph.add_edge("x", "y")
+        assert graph.has_node("x")
+        assert graph.has_node("y")
+        assert graph.has_edge("y", "x")
+
+    def test_add_duplicate_edge_is_noop(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        graph = UndirectedGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_remove_edge(self):
+        graph = UndirectedGraph([(1, 2), (2, 3)])
+        graph.remove_edge(2, 1)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_node(1)
+        assert graph.number_of_edges() == 1
+
+    def test_remove_missing_edge_raises(self):
+        graph = UndirectedGraph([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 3)
+
+    def test_remove_edges_from_ignores_missing(self):
+        graph = UndirectedGraph([(1, 2), (2, 3)])
+        graph.remove_edges_from([(1, 2), (5, 6)])
+        assert graph.number_of_edges() == 1
+
+    def test_edges_iterates_each_once(self):
+        graph = UndirectedGraph([(1, 2), (2, 3), (1, 3)])
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+
+    def test_edge_count_consistent_after_mixed_operations(self):
+        graph = UndirectedGraph()
+        for index in range(10):
+            graph.add_edge(index, index + 1)
+        graph.remove_node(5)
+        assert graph.number_of_edges() == len(list(graph.edges()))
+
+
+class TestAdjacency:
+    def test_neighbors_and_degree(self):
+        graph = UndirectedGraph([(1, 2), (1, 3)])
+        assert graph.neighbors(1) == {2, 3}
+        assert graph.degree(1) == 2
+        assert graph.degree(2) == 1
+
+    def test_neighbors_missing_node_raises(self):
+        graph = UndirectedGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.neighbors(0)
+
+    def test_common_neighbors(self):
+        graph = UndirectedGraph([(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)])
+        assert graph.common_neighbors(2, 3) == {1, 4}
+        assert graph.common_neighbors(1, 4) == {2, 3}
+
+    def test_degrees_and_max_degree(self):
+        graph = UndirectedGraph([(1, 2), (1, 3), (1, 4)])
+        assert graph.degrees() == {1: 3, 2: 1, 3: 1, 4: 1}
+        assert graph.max_degree() == 3
+        assert UndirectedGraph().max_degree() == 0
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self):
+        graph = UndirectedGraph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.node_set() == {1, 2, 3}
+        assert sub.edge_set() == {(1, 2), (2, 3)}
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        graph = UndirectedGraph([(1, 2)])
+        sub = graph.subgraph([1, 2, 99])
+        assert sub.node_set() == {1, 2}
+
+    def test_subgraph_does_not_alias_parent(self):
+        graph = UndirectedGraph([(1, 2), (2, 3)])
+        sub = graph.subgraph([1, 2])
+        sub.add_edge(1, 5)
+        assert not graph.has_node(5)
+
+    def test_edge_subgraph(self):
+        graph = UndirectedGraph([(1, 2), (2, 3), (3, 1)])
+        sub = graph.edge_subgraph([(1, 2), (2, 3)])
+        assert sub.edge_set() == {(1, 2), (2, 3)}
+
+    def test_edge_subgraph_missing_edge_raises(self):
+        graph = UndirectedGraph([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.edge_subgraph([(1, 3)])
+
+
+class TestEqualityAndRepr:
+    def test_equality_by_structure(self):
+        first = UndirectedGraph([(1, 2), (2, 3)])
+        second = UndirectedGraph([(2, 3), (1, 2)])
+        assert first == second
+
+    def test_inequality(self):
+        assert UndirectedGraph([(1, 2)]) != UndirectedGraph([(1, 3)])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(UndirectedGraph())
+
+    def test_repr_mentions_counts(self):
+        graph = UndirectedGraph([(1, 2)])
+        assert "nodes=2" in repr(graph)
+        assert "edges=1" in repr(graph)

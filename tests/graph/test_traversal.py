@@ -1,0 +1,171 @@
+"""Unit tests for BFS traversal, distances, diameter and query distance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.convert import networkx_available, to_networkx
+from repro.graph.generators import complete_graph, cycle_graph, path_graph
+from repro.graph.simple_graph import UndirectedGraph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_layers,
+    bfs_tree,
+    diameter,
+    diameter_lower_bound_two_sweep,
+    eccentricity,
+    graph_query_distance,
+    query_distances,
+    shortest_path,
+    shortest_path_length,
+)
+
+
+class TestBfsDistances:
+    def test_path_graph_distances(self):
+        graph = path_graph(5)
+        distances = bfs_distances(graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_cutoff_limits_exploration(self):
+        graph = path_graph(10)
+        distances = bfs_distances(graph, 0, cutoff=3)
+        assert max(distances.values()) == 3
+        assert 4 not in distances
+
+    def test_disconnected_nodes_absent(self):
+        graph = UndirectedGraph([(1, 2)])
+        graph.add_node(3)
+        assert 3 not in bfs_distances(graph, 1)
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(UndirectedGraph(), 0)
+
+
+class TestBfsTree:
+    def test_parents_form_shortest_paths(self):
+        graph = cycle_graph(6)
+        parents = bfs_tree(graph, 0)
+        assert parents[0] is None
+        # node 3 is opposite on the cycle: its parent must be at distance 2.
+        distances = bfs_distances(graph, 0)
+        assert distances[parents[3]] == distances[3] - 1
+
+
+class TestBfsLayers:
+    def test_layers_from_single_source(self):
+        graph = path_graph(4)
+        layers = bfs_layers(graph, [0])
+        assert layers == [{0}, {1}, {2}, {3}]
+
+    def test_layers_from_multiple_sources(self):
+        graph = path_graph(5)
+        layers = bfs_layers(graph, [0, 4])
+        assert layers[0] == {0, 4}
+        assert layers[1] == {1, 3}
+        assert layers[2] == {2}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_layers(path_graph(3), [99])
+
+
+class TestShortestPath:
+    def test_path_endpoints_included(self):
+        graph = path_graph(4)
+        assert shortest_path(graph, 0, 3) == [0, 1, 2, 3]
+
+    def test_self_path(self):
+        graph = path_graph(3)
+        assert shortest_path(graph, 1, 1) == [1]
+
+    def test_disconnected_returns_none(self):
+        graph = UndirectedGraph([(1, 2), (3, 4)])
+        assert shortest_path(graph, 1, 3) is None
+
+    def test_shortest_path_length(self):
+        graph = cycle_graph(8)
+        assert shortest_path_length(graph, 0, 4) == 4
+        assert shortest_path_length(graph, 0, 7) == 1
+
+    def test_shortest_path_length_disconnected_is_inf(self):
+        graph = UndirectedGraph([(1, 2), (3, 4)])
+        assert shortest_path_length(graph, 1, 4) == float("inf")
+
+    @pytest.mark.skipif(not networkx_available(), reason="networkx oracle unavailable")
+    def test_matches_networkx_on_random_graph(self, random_graph):
+        import networkx as nx
+
+        oracle = to_networkx(random_graph)
+        expected = dict(nx.single_source_shortest_path_length(oracle, 0))
+        assert bfs_distances(random_graph, 0) == expected
+
+
+class TestDiameterAndEccentricity:
+    def test_path_diameter(self):
+        assert diameter(path_graph(6)) == 5
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(8)) == 4
+
+    def test_complete_graph_diameter(self):
+        assert diameter(complete_graph(5)) == 1
+
+    def test_single_node_diameter(self):
+        graph = UndirectedGraph()
+        graph.add_node(1)
+        assert diameter(graph) == 0
+
+    def test_disconnected_diameter_is_inf(self):
+        graph = UndirectedGraph([(1, 2), (3, 4)])
+        assert diameter(graph) == float("inf")
+
+    def test_eccentricity(self):
+        graph = path_graph(5)
+        assert eccentricity(graph, 0) == 4
+        assert eccentricity(graph, 2) == 2
+
+    def test_two_sweep_lower_bound_is_exact_on_trees(self):
+        graph = path_graph(9)
+        assert diameter_lower_bound_two_sweep(graph) == 8
+
+    def test_two_sweep_never_exceeds_true_diameter(self, random_graph):
+        bound = diameter_lower_bound_two_sweep(random_graph)
+        true_diameter = diameter(random_graph)
+        assert bound <= true_diameter
+
+
+class TestQueryDistance:
+    def test_definition_3_example(self, figure1):
+        """dist(v2, {q2, q3}) = 2 as worked out in Section 2."""
+        distances = query_distances(figure1, ["q2", "q3"])
+        assert distances["v2"] == 2
+
+    def test_grey_subgraph_query_distance_is_3(self, figure1):
+        """dist_G(H, {q2, q3}) = 3 for the grey subgraph (Section 2)."""
+        grey = figure1.subgraph(
+            {"q1", "q2", "q3", "v1", "v2", "v3", "v4", "v5", "p1", "p2", "p3"}
+        )
+        distances = query_distances(figure1, ["q2", "q3"])
+        assert max(distances[node] for node in grey.nodes()) == 3
+
+    def test_empty_query_gives_zero(self):
+        graph = path_graph(3)
+        assert graph_query_distance(graph, []) == 0.0
+
+    def test_unreachable_nodes_get_infinity(self):
+        graph = UndirectedGraph([(1, 2), (3, 4)])
+        distances = query_distances(graph, [1])
+        assert distances[3] == float("inf")
+
+    def test_single_query_node_matches_bfs(self):
+        graph = cycle_graph(7)
+        assert query_distances(graph, [0]) == bfs_distances(graph, 0)
+
+    def test_graph_query_distance_is_max(self):
+        graph = path_graph(5)
+        assert graph_query_distance(graph, [0]) == 4
+        assert graph_query_distance(graph, [0, 4]) == 4
+        assert graph_query_distance(graph, [2]) == 2

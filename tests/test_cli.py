@@ -1,0 +1,78 @@
+"""Tests for the ``ctc-search`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.paper_figures import figure_1_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def figure1_file(tmp_path):
+    path = tmp_path / "figure1.txt"
+    write_edge_list(figure_1_graph(), path)
+    return str(path)
+
+
+class TestParser:
+    def test_search_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["search", "g.txt", "--query", "a", "b", "--method", "basic"])
+        assert args.command == "search"
+        assert args.query == ["a", "b"]
+        assert args.method == "basic"
+
+    def test_experiment_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "table2"])
+        assert args.command == "experiment"
+        assert args.name == "table2"
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSearchCommand:
+    def test_lctc_search_prints_members(self, figure1_file, capsys):
+        exit_code = main(
+            ["search", figure1_file, "--query", "q1", "q2", "q3", "--method", "lctc", "--eta", "50"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "trussness:     4" in captured
+        assert "v5" in captured
+        assert "p1" not in captured.split("members:")[1]
+
+    def test_basic_search(self, figure1_file, capsys):
+        exit_code = main(["search", figure1_file, "--query", "q3", "--method", "basic"])
+        assert exit_code == 0
+        assert "method:        basic" in capsys.readouterr().out
+
+    def test_truss_method_keeps_free_riders(self, figure1_file, capsys):
+        main(["search", figure1_file, "--query", "q1", "q2", "q3", "--method", "truss"])
+        members = capsys.readouterr().out.split("members:")[1]
+        assert "p1" in members
+
+
+class TestExperimentCommand:
+    def test_table2_runs(self, capsys):
+        exit_code = main(["experiment", "table2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "facebook-like" in captured
+        assert "max_trussness" in captured
+
+    def test_fig11_runs(self, capsys):
+        exit_code = main(["experiment", "fig11"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "truss-G0" in captured
+        assert "lctc" in captured

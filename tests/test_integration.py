@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole stack.
+
+These run the full pipeline a user of the library would run: build/load a
+network, build the index once, issue queries through the public facade with
+several methods, and check the cross-method relationships the paper reports
+(CTC methods shrink the Truss baseline, keep its trussness, and align better
+with planted ground truth than size-unaware baselines on dense communities).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TrussIndex, available_methods, build_index, search
+from repro.ctc.free_rider import retained_node_percentage
+from repro.datasets.collaboration import CASE_STUDY_QUERY, build_collaboration_network
+from repro.datasets.queries import ground_truth_query_sets
+from repro.datasets.registry import load_dataset
+from repro.exceptions import NoCommunityFoundError
+from repro.graph.components import is_connected
+from repro.graph.triangles import all_edge_supports
+from repro.metrics.quality import f1_score
+
+
+class TestFacebookLikeWorkflow:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return load_dataset("facebook-like")
+
+    @pytest.fixture(scope="class")
+    def index(self, network):
+        return build_index(network.graph)
+
+    def test_index_is_reusable_across_queries_and_methods(self, network, index):
+        assert isinstance(index, TrussIndex)
+        pairs = ground_truth_query_sets(network, 3, size_range=(2, 3), seed=1)
+        for query, _truth in pairs:
+            for method in ("truss", "bulk-delete", "lctc"):
+                result = search(index, query, method=method, eta=150)
+                assert result.contains_query()
+                assert is_connected(result.graph)
+
+    def test_ctc_methods_shrink_truss_but_keep_trussness(self, network, index):
+        pairs = ground_truth_query_sets(network, 5, size_range=(2, 4), seed=2)
+        shrunk_at_least_once = False
+        for query, _truth in pairs:
+            truss = search(index, query, method="truss")
+            bulk = search(index, query, method="bulk-delete")
+            assert bulk.trussness == truss.trussness
+            assert bulk.num_nodes <= truss.num_nodes
+            percentage = retained_node_percentage(bulk.graph, truss.graph)
+            assert percentage <= 100.0
+            if percentage < 100.0:
+                shrunk_at_least_once = True
+        assert shrunk_at_least_once or truss.num_nodes < 20
+
+    def test_all_methods_produce_communities_on_ground_truth_queries(self, network, index):
+        pairs = ground_truth_query_sets(network, 2, size_range=(2, 2), seed=3)
+        for query, truth in pairs:
+            for method in available_methods():
+                result = search(index, query, method=method, eta=150)
+                assert result.contains_query()
+                assert 0.0 <= f1_score(result.nodes, truth) <= 1.0
+
+    def test_lctc_f1_meets_or_beats_truss_baseline_on_average(self, network, index):
+        """Figure 12(a) shape: the free-rider-removing LCTC should align with
+        the planted communities at least as well as the raw Truss output."""
+        pairs = ground_truth_query_sets(network, 8, size_range=(2, 4), seed=4)
+        truss_scores = []
+        lctc_scores = []
+        for query, truth in pairs:
+            truss_scores.append(f1_score(search(index, query, method="truss").nodes, truth))
+            lctc_scores.append(
+                f1_score(search(index, query, method="lctc", eta=150).nodes, truth)
+            )
+        assert sum(lctc_scores) >= sum(truss_scores) - 1e-9
+
+
+class TestCaseStudyWorkflow:
+    def test_case_study_reproduces_figure_11_shape(self):
+        network = build_collaboration_network()
+        index = build_index(network.graph)
+        truss = search(index, list(CASE_STUDY_QUERY), method="truss")
+        lctc = search(index, list(CASE_STUDY_QUERY), method="lctc", eta=300)
+        # G0 is large and loose; the LCTC community is small and dense.
+        assert truss.num_nodes > lctc.num_nodes
+        assert lctc.density() > truss.density()
+        assert lctc.trussness == truss.trussness
+        assert lctc.diameter() <= truss.diameter()
+        # The LCTC community is essentially the planted core of senior authors.
+        core = network.communities[0]
+        assert f1_score(lctc.nodes, core) >= 0.8
+
+    def test_case_study_community_is_a_valid_truss(self):
+        network = build_collaboration_network()
+        result = search(network.graph, list(CASE_STUDY_QUERY), method="lctc", eta=300)
+        supports = all_edge_supports(result.graph)
+        assert all(value >= result.trussness - 2 for value in supports.values())
+        assert result.trussness >= 9  # the paper's case-study community is a 9-truss
+
+
+class TestRobustness:
+    def test_methods_handle_queries_spanning_communities(self):
+        network = load_dataset("facebook-like")
+        index = build_index(network.graph)
+        # Take one node from each of two different planted communities.
+        first = sorted(network.communities[0])[0]
+        second = sorted(network.communities[1])[0]
+        for method in ("truss", "bulk-delete", "lctc"):
+            try:
+                result = search(index, [first, second], method=method, eta=150)
+            except NoCommunityFoundError:
+                continue
+            assert result.contains_query()
+
+    def test_repeated_search_is_deterministic(self):
+        network = load_dataset("facebook-like")
+        index = build_index(network.graph)
+        query = sorted(network.communities[0])[:3]
+        first = search(index, query, method="bulk-delete")
+        second = search(index, query, method="bulk-delete")
+        assert first.nodes == second.nodes
+        first_local = search(index, query, method="lctc", eta=120)
+        second_local = search(index, query, method="lctc", eta=120)
+        assert first_local.nodes == second_local.nodes

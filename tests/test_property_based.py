@@ -1,0 +1,252 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the structural guarantees the paper relies on:
+
+* truss decomposition: every edge of the maximal k-truss has support >= k - 2
+  inside it, trussness >= 2, and the k-truss hierarchy is nested;
+* trussness never exceeds (degree-based) upper bounds;
+* k-truss maintenance equals recomputation from scratch;
+* graph primitives: BFS distances satisfy the triangle inequality, diameter
+  is bounded by twice the query distance (Lemma 2);
+* the CTC algorithms return connected k-trusses containing the query whose
+  trussness equals the maximal feasible trussness and whose diameter obeys
+  the 2-approximation certificate diam(R) <= 2 dist(R, Q).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ctc.basic import BasicCTC
+from repro.ctc.bulk_delete import BulkDeleteCTC
+from repro.ctc.local import LocalCTC
+from repro.exceptions import NoCommunityFoundError
+from repro.graph.components import is_connected, nodes_are_connected
+from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.traversal import bfs_distances, diameter, graph_query_distance
+from repro.graph.triangles import all_edge_supports, edge_support
+from repro.trusses.decomposition import (
+    k_truss_subgraph,
+    maximal_k_truss_edges,
+    truss_decomposition,
+    vertex_trussness,
+)
+from repro.trusses.extraction import find_maximal_connected_truss
+from repro.trusses.index import TrussIndex
+from repro.trusses.kcore import core_decomposition
+from repro.trusses.maintenance import KTrussMaintainer
+
+# ----------------------------------------------------------------------
+# Graph strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def random_graphs(draw, max_nodes: int = 16, edge_bias: float = 0.35):
+    """Generate small random graphs (possibly disconnected, never empty)."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    graph = UndirectedGraph()
+    graph.add_nodes_from(range(num_nodes))
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < edge_bias:
+                graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def connected_graphs(draw, max_nodes: int = 16):
+    """Generate small connected graphs by adding a random spanning tree."""
+    graph = draw(random_graphs(max_nodes=max_nodes))
+    nodes = sorted(graph.nodes())
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    for position in range(1, len(nodes)):
+        graph.add_edge(nodes[position], nodes[rng.randrange(position)])
+    return graph
+
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ----------------------------------------------------------------------
+# Truss decomposition invariants
+# ----------------------------------------------------------------------
+class TestTrussInvariants:
+    @common_settings
+    @given(graph=random_graphs())
+    def test_trussness_at_least_two_and_at_most_support_plus_two(self, graph):
+        trussness = truss_decomposition(graph)
+        for (u, v), value in trussness.items():
+            assert value >= 2
+            assert value <= edge_support(graph, u, v) + 2
+
+    @common_settings
+    @given(graph=random_graphs())
+    def test_maximal_k_truss_supports(self, graph):
+        trussness = truss_decomposition(graph)
+        if not trussness:
+            return
+        for k in range(3, max(trussness.values()) + 1):
+            truss = k_truss_subgraph(graph, k, trussness)
+            supports = all_edge_supports(truss)
+            assert all(value >= k - 2 for value in supports.values())
+
+    @common_settings
+    @given(graph=random_graphs())
+    def test_truss_hierarchy_is_nested(self, graph):
+        trussness = truss_decomposition(graph)
+        if not trussness:
+            return
+        top = max(trussness.values())
+        previous = None
+        for k in range(top, 1, -1):
+            edges = maximal_k_truss_edges(graph, k, trussness)
+            if previous is not None:
+                assert previous <= edges
+            previous = edges
+
+    @common_settings
+    @given(graph=random_graphs())
+    def test_trussness_maximality(self, graph):
+        """tau(e) is the *largest* k: e never survives in the (tau(e)+1)-truss."""
+        trussness = truss_decomposition(graph)
+        for (u, v), value in trussness.items():
+            higher = maximal_k_truss_edges(graph, value + 1, trussness)
+            assert edge_key(u, v) not in higher
+
+    @common_settings
+    @given(graph=random_graphs())
+    def test_vertex_trussness_bounded_by_core_number(self, graph):
+        """tau(v) <= core(v) + 1: a k-truss around v is a (k-1)-core around v."""
+        vertex = vertex_trussness(graph)
+        core = core_decomposition(graph)
+        for node, value in vertex.items():
+            if graph.degree(node) == 0:
+                continue
+            assert value <= core[node] + 1
+
+    @common_settings
+    @given(graph=random_graphs())
+    def test_maintenance_matches_recomputation(self, graph):
+        trussness = truss_decomposition(graph)
+        if not trussness:
+            return
+        k = min(4, max(trussness.values()))
+        start = k_truss_subgraph(graph, k, trussness)
+        if start.number_of_edges() == 0:
+            return
+        victim = min(start.nodes(), key=repr)
+        maintainer = KTrussMaintainer(start, k)
+        maintainer.delete_vertex(victim)
+        reduced = start.copy()
+        reduced.remove_node(victim)
+        expected = k_truss_subgraph(reduced, k)
+        assert maintainer.graph.edge_set() == expected.edge_set()
+
+
+# ----------------------------------------------------------------------
+# Distance / diameter invariants
+# ----------------------------------------------------------------------
+class TestDistanceInvariants:
+    @common_settings
+    @given(graph=connected_graphs())
+    def test_bfs_triangle_inequality(self, graph):
+        nodes = sorted(graph.nodes())
+        source_distances = bfs_distances(graph, nodes[0])
+        mid = nodes[len(nodes) // 2]
+        mid_distances = bfs_distances(graph, mid)
+        for node in nodes:
+            assert source_distances[node] <= source_distances[mid] + mid_distances[node]
+
+    @common_settings
+    @given(graph=connected_graphs(), data=st.data())
+    def test_lemma_2_diameter_bounds(self, graph, data):
+        nodes = sorted(graph.nodes())
+        query_size = data.draw(st.integers(min_value=1, max_value=min(3, len(nodes))))
+        query = data.draw(
+            st.lists(st.sampled_from(nodes), min_size=query_size, max_size=query_size, unique=True)
+        )
+        query_distance = graph_query_distance(graph, query)
+        graph_diameter = diameter(graph)
+        assert query_distance <= graph_diameter <= 2 * query_distance or graph_diameter == 0
+
+
+# ----------------------------------------------------------------------
+# CTC algorithm invariants
+# ----------------------------------------------------------------------
+class TestCtcInvariants:
+    @common_settings
+    @given(graph=connected_graphs(max_nodes=14), data=st.data())
+    def test_all_algorithms_return_valid_communities(self, graph, data):
+        nodes = sorted(graph.nodes())
+        query_size = data.draw(st.integers(min_value=1, max_value=min(3, len(nodes))))
+        query = data.draw(
+            st.lists(st.sampled_from(nodes), min_size=query_size, max_size=query_size, unique=True)
+        )
+        index = TrussIndex(graph)
+        try:
+            reference, k = find_maximal_connected_truss(index, query)
+        except NoCommunityFoundError:
+            return
+        searchers = [
+            BasicCTC(index),
+            BulkDeleteCTC(index),
+            LocalCTC(index, eta=graph.number_of_nodes()),
+        ]
+        for searcher in searchers:
+            result = searcher.search(query)
+            # Contains the query and is connected.
+            assert result.contains_query()
+            assert is_connected(result.graph)
+            # Trussness requirement: every edge has enough support.
+            supports = all_edge_supports(result.graph)
+            assert all(value >= result.trussness - 2 for value in supports.values())
+            # Global methods must match the maximal trussness exactly.
+            if not isinstance(searcher, LocalCTC):
+                assert result.trussness == k
+            # 2-approximation certificate.
+            if result.num_nodes > 1:
+                assert result.diameter() <= 2 * max(result.query_distance, 1)
+            # Never larger than the starting truss for global methods.
+            if not isinstance(searcher, LocalCTC):
+                assert result.nodes <= reference.node_set()
+
+    @common_settings
+    @given(graph=connected_graphs(max_nodes=14), data=st.data())
+    def test_basic_query_distance_never_worse_than_g0(self, graph, data):
+        """Lemma 5 consequence: dist(R, Q) <= dist(G0, Q)."""
+        nodes = sorted(graph.nodes())
+        query = data.draw(st.lists(st.sampled_from(nodes), min_size=1, max_size=2, unique=True))
+        index = TrussIndex(graph)
+        try:
+            reference, _k = find_maximal_connected_truss(index, query)
+        except NoCommunityFoundError:
+            return
+        result = BasicCTC(index).search(query)
+        assert result.query_distance <= graph_query_distance(reference, query)
+
+    @common_settings
+    @given(graph=connected_graphs(max_nodes=14), data=st.data())
+    def test_g0_is_maximal_connected_truss(self, graph, data):
+        """FindG0 returns a connected truss at the highest feasible level."""
+        nodes = sorted(graph.nodes())
+        query = data.draw(st.lists(st.sampled_from(nodes), min_size=1, max_size=3, unique=True))
+        index = TrussIndex(graph)
+        try:
+            community, k = find_maximal_connected_truss(index, query)
+        except NoCommunityFoundError:
+            return
+        assert nodes_are_connected(community, query)
+        supports = all_edge_supports(community)
+        assert all(value >= k - 2 for value in supports.values())
+        # No strictly higher level connects the query.
+        trussness = truss_decomposition(graph)
+        higher = k_truss_subgraph(graph, k + 1, trussness)
+        assert not nodes_are_connected(higher, query)

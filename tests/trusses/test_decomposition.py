@@ -1,0 +1,175 @@
+"""Unit tests for truss decomposition against definitions and oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.convert import networkx_available, to_networkx
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    relaxed_caveman_graph,
+    star_graph,
+)
+from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.triangles import all_edge_supports
+from repro.trusses.decomposition import (
+    graph_trussness,
+    k_truss_subgraph,
+    max_trussness,
+    maximal_k_truss_edges,
+    truss_decomposition,
+    vertex_trussness,
+)
+
+
+def brute_force_trussness(graph: UndirectedGraph) -> dict:
+    """Reference implementation: repeatedly strip the maximal k-truss for k = 3, 4, ...
+
+    The maximal k-truss is computed by iterated removal of edges with
+    support < k - 2; an edge's trussness is the largest k whose maximal
+    k-truss still contains it.  Exponentially simpler than the peeling
+    algorithm and obviously correct, but O(k_max * m^2).
+    """
+    trussness = {edge_key(u, v): 2 for u, v in graph.edges()}
+    k = 3
+    current = graph.copy()
+    while current.number_of_edges() > 0:
+        # Iteratively delete edges with support < k - 2.
+        changed = True
+        while changed:
+            changed = False
+            for u, v in list(current.edges()):
+                if len(current.common_neighbors(u, v)) < k - 2:
+                    current.remove_edge(u, v)
+                    changed = True
+        for u, v in current.edges():
+            trussness[edge_key(u, v)] = k
+        k += 1
+    return trussness
+
+
+class TestTrussDecompositionSmallGraphs:
+    def test_empty_graph(self):
+        assert truss_decomposition(UndirectedGraph()) == {}
+
+    def test_single_edge(self):
+        graph = UndirectedGraph([(1, 2)])
+        assert truss_decomposition(graph) == {(1, 2): 2}
+
+    def test_triangle_is_3_truss(self, triangle):
+        assert set(truss_decomposition(triangle).values()) == {3}
+
+    def test_complete_graph_trussness_equals_size(self):
+        for size in (3, 4, 5, 6):
+            trussness = truss_decomposition(complete_graph(size))
+            assert set(trussness.values()) == {size}
+
+    def test_path_and_cycle_are_2_trusses(self):
+        assert set(truss_decomposition(path_graph(6)).values()) == {2}
+        assert set(truss_decomposition(cycle_graph(6)).values()) == {2}
+        assert set(truss_decomposition(star_graph(5)).values()) == {2}
+
+    def test_figure_1_max_trussness_is_4(self, figure1):
+        """tau_bar(empty) = 4 in Figure 1 (Section 2)."""
+        trussness = truss_decomposition(figure1)
+        assert max(trussness.values()) == 4
+
+    def test_figure_1_edge_q2_v2_has_trussness_4(self, figure1):
+        """tau(q2, v2) = 4 although sup(q2, v2) = 3 (Section 2 worked example)."""
+        trussness = truss_decomposition(figure1)
+        assert trussness[edge_key("q2", "v2")] == 4
+
+    def test_figure_1_t_edges_have_trussness_2(self, figure1):
+        trussness = truss_decomposition(figure1)
+        assert trussness[edge_key("q1", "t")] == 2
+        assert trussness[edge_key("q3", "t")] == 2
+
+    def test_figure_4_trussness_values(self, figure4):
+        trussness = truss_decomposition(figure4)
+        assert trussness[edge_key("t1", "t2")] == 2
+        others = {edge: value for edge, value in trussness.items() if edge != edge_key("t1", "t2")}
+        assert set(others.values()) == {4}
+
+    def test_two_cliques_sharing_an_edge(self):
+        graph = complete_graph(4)
+        graph.add_edges_from([(2, 4), (3, 4), (2, 5), (3, 5), (4, 5)])
+        trussness = truss_decomposition(graph)
+        # Shared edge (2, 3) belongs to both 4-cliques; its trussness is 4.
+        assert trussness[edge_key(2, 3)] == 4
+        assert trussness[edge_key(4, 5)] == 4
+        assert trussness[edge_key(0, 1)] == 4
+
+
+class TestTrussDecompositionAgainstOracles:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force_on_random_graphs(self, seed):
+        graph = erdos_renyi_graph(25, 0.25, seed=seed)
+        assert truss_decomposition(graph) == brute_force_trussness(graph)
+
+    def test_matches_brute_force_on_caveman(self):
+        graph = relaxed_caveman_graph(4, 6, 0.1, seed=7)
+        assert truss_decomposition(graph) == brute_force_trussness(graph)
+
+    def test_matches_brute_force_on_figure1(self, figure1):
+        assert truss_decomposition(figure1) == brute_force_trussness(figure1)
+
+    @pytest.mark.skipif(not networkx_available(), reason="networkx oracle unavailable")
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_k_truss_subgraph_matches_networkx(self, k):
+        import networkx as nx
+
+        graph = erdos_renyi_graph(40, 0.2, seed=11)
+        ours = k_truss_subgraph(graph, k)
+        theirs = nx.k_truss(to_networkx(graph), k)
+        assert ours.edge_set() == {edge_key(u, v) for u, v in theirs.edges()}
+
+
+class TestKTrussSubgraph:
+    def test_every_edge_meets_support_threshold(self, figure1):
+        for k in (2, 3, 4):
+            truss = k_truss_subgraph(figure1, k)
+            supports = all_edge_supports(truss)
+            assert all(value >= k - 2 for value in supports.values())
+
+    def test_hierarchy_k_truss_contained_in_k_minus_1_truss(self, random_graph):
+        trussness = truss_decomposition(random_graph)
+        top = max(trussness.values()) if trussness else 2
+        previous_edges = None
+        for k in range(top, 1, -1):
+            edges = maximal_k_truss_edges(random_graph, k, trussness)
+            if previous_edges is not None:
+                assert previous_edges <= edges
+            previous_edges = edges
+
+    def test_k_above_max_gives_empty_graph(self, figure1):
+        truss = k_truss_subgraph(figure1, 10)
+        assert truss.number_of_edges() == 0
+
+
+class TestDerivedTrussness:
+    def test_vertex_trussness_is_max_incident(self, figure1):
+        edge_trussness = truss_decomposition(figure1)
+        vertex = vertex_trussness(figure1, edge_trussness)
+        assert vertex["q2"] == 4
+        assert vertex["t"] == 2
+        assert vertex["p1"] == 4
+
+    def test_vertex_trussness_isolated_node(self):
+        graph = UndirectedGraph()
+        graph.add_node("alone")
+        assert vertex_trussness(graph) == {"alone": 1}
+
+    def test_graph_trussness_of_subgraphs(self, figure1):
+        clique = figure1.subgraph({"q1", "q2", "v1", "v2"})
+        assert graph_trussness(clique) == 4
+        triangle = figure1.subgraph({"q1", "q2", "v1"})
+        assert graph_trussness(triangle) == 3
+        assert graph_trussness(UndirectedGraph()) == 2
+
+    def test_max_trussness(self, figure1):
+        assert max_trussness(figure1) == 4
+        assert max_trussness(UndirectedGraph([(1, 2)])) == 2
+        assert max_trussness(UndirectedGraph()) == 2

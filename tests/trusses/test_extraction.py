@@ -1,0 +1,152 @@
+"""Unit tests for FindG0 (Algorithm 2) and the fixed-k variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NoCommunityFoundError, QueryError
+from repro.graph.components import is_connected, nodes_are_connected
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.simple_graph import UndirectedGraph
+from repro.graph.triangles import all_edge_supports
+from repro.trusses.decomposition import k_truss_subgraph, truss_decomposition
+from repro.trusses.extraction import (
+    find_connected_truss_at_k,
+    find_maximal_connected_truss,
+    validate_query,
+)
+from repro.trusses.index import TrussIndex
+
+
+class TestValidateQuery:
+    def test_deduplicates_and_preserves_order(self, figure1):
+        assert validate_query(figure1, ["q1", "q2", "q1"]) == ["q1", "q2"]
+
+    def test_empty_query_rejected(self, figure1):
+        with pytest.raises(QueryError):
+            validate_query(figure1, [])
+
+    def test_missing_node_rejected(self, figure1):
+        with pytest.raises(QueryError):
+            validate_query(figure1, ["q1", "nope"])
+
+
+class TestFindMaximalConnectedTruss:
+    def test_figure1_multi_query_returns_grey_4truss(self, figure1_index):
+        """FindG0 on Figure 1 with Q = {q1, q2, q3}: the grey region, k = 4."""
+        community, k = find_maximal_connected_truss(figure1_index, ["q1", "q2", "q3"])
+        assert k == 4
+        assert community.node_set() == {
+            "q1", "q2", "q3", "v1", "v2", "v3", "v4", "v5", "p1", "p2", "p3",
+        }
+        supports = all_edge_supports(community)
+        assert all(value >= 2 for value in supports.values())
+
+    def test_figure1_single_query_node(self, figure1_index):
+        community, k = find_maximal_connected_truss(figure1_index, ["q3"])
+        assert k == 4
+        assert "q3" in community
+        assert "t" not in community
+
+    def test_figure4_example6_bridges_at_level_2(self, figure4, figure4_query):
+        """Example 6: the maximal connected truss containing {q1, q2} is the
+        whole graph at k = 2 (the two 4-cliques only connect via the weak bridge)."""
+        index = TrussIndex(figure4)
+        community, k = find_maximal_connected_truss(index, figure4_query)
+        assert k == 2
+        assert community.node_set() == figure4.node_set()
+        assert community.number_of_edges() == figure4.number_of_edges()
+
+    def test_result_is_connected_and_contains_query(self, small_network_index):
+        index = small_network_index
+        nodes = sorted(index.graph.nodes())[:3]
+        community, k = find_maximal_connected_truss(index, nodes)
+        assert is_connected(community)
+        assert all(community.has_node(node) for node in nodes)
+        assert k >= 2
+
+    def test_trussness_matches_query_upper_bound(self, figure1_index):
+        """k never exceeds min vertex trussness of the query (Lemma 1)."""
+        community, k = find_maximal_connected_truss(figure1_index, ["q1", "t"])
+        assert k <= min(
+            figure1_index.vertex_trussness("q1"), figure1_index.vertex_trussness("t")
+        )
+        assert community.has_node("t")
+
+    def test_disconnected_query_raises(self):
+        graph = UndirectedGraph([(1, 2), (2, 3), (1, 3), (10, 11), (11, 12), (10, 12)])
+        index = TrussIndex(graph)
+        with pytest.raises(NoCommunityFoundError):
+            find_maximal_connected_truss(index, [1, 10])
+
+    def test_isolated_single_query_node(self):
+        graph = UndirectedGraph([(1, 2)])
+        graph.add_node(5)
+        index = TrussIndex(graph)
+        community, k = find_maximal_connected_truss(index, [5])
+        assert community.node_set() == {5}
+        assert k == 2
+
+    def test_isolated_node_in_multi_query_raises(self):
+        graph = UndirectedGraph([(1, 2), (2, 3), (1, 3)])
+        graph.add_node(5)
+        index = TrussIndex(graph)
+        with pytest.raises(NoCommunityFoundError):
+            find_maximal_connected_truss(index, [1, 5])
+
+    def test_invalid_query_propagates(self, figure1_index):
+        with pytest.raises(QueryError):
+            find_maximal_connected_truss(figure1_index, [])
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_maximality_against_global_decomposition(self, seed):
+        """G0 equals the query's connected component of the maximal k-truss."""
+        graph = erdos_renyi_graph(35, 0.25, seed=seed)
+        index = TrussIndex(graph)
+        query = sorted(graph.nodes())[:2]
+        try:
+            community, k = find_maximal_connected_truss(index, query)
+        except NoCommunityFoundError:
+            pytest.skip("query not connected in any truss for this seed")
+        # No higher level connects the query.
+        trussness = truss_decomposition(graph)
+        higher = k_truss_subgraph(graph, k + 1, trussness)
+        assert not nodes_are_connected(higher, query)
+        # At level k, the community is exactly the component containing the query.
+        level_truss = k_truss_subgraph(graph, k, trussness)
+        assert nodes_are_connected(level_truss, query)
+        component = _component_of(level_truss, query[0])
+        assert community.node_set() == component
+
+    def test_complete_graph_whole_graph_returned(self):
+        graph = complete_graph(6)
+        index = TrussIndex(graph)
+        community, k = find_maximal_connected_truss(index, [0, 5])
+        assert k == 6
+        assert community == graph
+
+
+def _component_of(graph: UndirectedGraph, start) -> set:
+    from repro.graph.components import connected_component_containing
+
+    return connected_component_containing(graph, start)
+
+
+class TestFindConnectedTrussAtK:
+    def test_fixed_k_returns_component(self, figure1_index):
+        community = find_connected_truss_at_k(figure1_index, ["q1", "q2", "q3"], 4)
+        assert community.node_set() == {
+            "q1", "q2", "q3", "v1", "v2", "v3", "v4", "v5", "p1", "p2", "p3",
+        }
+
+    def test_fixed_k_2_includes_t(self, figure1_index):
+        community = find_connected_truss_at_k(figure1_index, ["q1", "t"], 2)
+        assert community.has_node("t")
+
+    def test_infeasible_level_raises(self, figure1_index):
+        with pytest.raises(NoCommunityFoundError):
+            find_connected_truss_at_k(figure1_index, ["q1", "q2", "q3"], 5)
+
+    def test_invalid_level_raises(self, figure1_index):
+        with pytest.raises(QueryError):
+            find_connected_truss_at_k(figure1_index, ["q1"], 1)
