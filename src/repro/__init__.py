@@ -5,11 +5,13 @@ A from-scratch Python reproduction of
     Xin Huang, Laks V.S. Lakshmanan, Jeffrey Xu Yu, Hong Cheng.
     "Approximate Closest Community Search in Networks."  PVLDB 2015.
 
-The package provides the graph substrate, truss machinery, the three CTC
-search algorithms (Basic, BulkDelete, LCTC), the baselines the paper compares
-against (Truss, MDC, QDC), synthetic datasets with ground-truth communities,
-quality metrics, and the experiment harness that regenerates every table and
-figure of the paper's evaluation.
+The package provides the graph substrate (mutable :class:`UndirectedGraph`
+store plus frozen :class:`CSRGraph` read snapshots), truss machinery, the
+three CTC search algorithms (Basic, BulkDelete, LCTC), the baselines the
+paper compares against (Truss, MDC, QDC), a cached read-optimized
+:class:`CTCEngine` for serving repeated queries, synthetic datasets with
+ground-truth communities, quality metrics, and the experiment harness that
+regenerates every table and figure of the paper's evaluation.
 
 Quickstart
 ----------
@@ -22,6 +24,7 @@ Quickstart
 
 from repro.ctc.api import available_methods, build_index, search
 from repro.ctc.basic import BasicCTC
+from repro.engine import CTCEngine
 from repro.ctc.bulk_delete import BulkDeleteCTC
 from repro.ctc.local import LocalCTC
 from repro.ctc.result import CommunityResult
@@ -32,15 +35,18 @@ from repro.exceptions import (
     QueryError,
     ReproError,
 )
+from repro.graph.csr import CSRGraph
 from repro.graph.simple_graph import UndirectedGraph
 from repro.trusses.index import TrussIndex
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "UndirectedGraph",
+    "CSRGraph",
     "TrussIndex",
+    "CTCEngine",
     "search",
     "build_index",
     "available_methods",

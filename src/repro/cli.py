@@ -12,6 +12,7 @@ Examples
 ::
 
     ctc-search search graph.txt --query q1 q2 q3 --method lctc
+    ctc-search search graph.txt --query q1 q2 --engine --repeat 100
     ctc-search experiment table2
     ctc-search experiment fig12 --queries 10
 """
@@ -20,9 +21,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.ctc.api import available_methods, search
+from repro.engine import CTCEngine
 from repro.experiments import figures, tables
 from repro.experiments.config import QUICK_CONFIG
 from repro.experiments.reporting import format_table
@@ -64,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search_parser.add_argument("--eta", type=int, default=1000, help="LCTC expansion budget")
     search_parser.add_argument("--gamma", type=float, default=3.0, help="LCTC trussness penalty")
+    search_parser.add_argument(
+        "--engine",
+        action="store_true",
+        help="serve the query through the cached CTCEngine (CSR snapshot + memoized truss index)",
+    )
+    search_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the query N times and report throughput (pair with --engine to see caching win)",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper's tables/figures on the synthetic datasets"
@@ -76,8 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_search(args: argparse.Namespace) -> int:
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be >= 1")
     graph = read_edge_list(args.graph)
-    result = search(graph, args.query, method=args.method, eta=args.eta, gamma=args.gamma)
+    target = CTCEngine(graph, copy=False) if args.engine else graph
+    started = time.perf_counter()
+    for _ in range(args.repeat):
+        result = search(target, args.query, method=args.method, eta=args.eta, gamma=args.gamma)
+    elapsed = time.perf_counter() - started
     print(f"method:        {result.method}")
     print(f"trussness:     {result.trussness}")
     print(f"nodes:         {result.num_nodes}")
@@ -88,6 +108,11 @@ def _run_search(args: argparse.Namespace) -> int:
     print("members:")
     for node in sorted(result.nodes, key=repr):
         print(f"  {node}")
+    if args.repeat > 1:
+        print(f"throughput:    {args.repeat / elapsed:.1f} queries/sec ({args.repeat} runs)")
+    if args.engine:
+        stats = target.stats
+        print(f"engine cache:  {stats.hits} hits, {stats.misses} misses")
     return 0
 
 

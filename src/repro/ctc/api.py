@@ -2,8 +2,9 @@
 
 Most users want "give me the closest truss community for these query nodes"
 without wiring the index, algorithm class and parameters themselves.  The
-facade accepts a plain graph (or a prebuilt :class:`TrussIndex`), a query,
-and a method name, and dispatches to the right implementation:
+facade accepts a plain graph, a prebuilt :class:`TrussIndex`, or a
+:class:`~repro.engine.CTCEngine` (whose cached snapshot index is used), a
+query, and a method name, and dispatches to the right implementation:
 
 ======================  ===========================================================
 ``method``              algorithm
@@ -20,6 +21,7 @@ and a method name, and dispatches to the right implementation:
 from __future__ import annotations
 
 from collections.abc import Hashable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.ctc.basic import BasicCTC
 from repro.ctc.bulk_delete import BulkDeleteCTC
@@ -28,6 +30,9 @@ from repro.ctc.result import CommunityResult
 from repro.exceptions import ConfigurationError
 from repro.graph.simple_graph import UndirectedGraph
 from repro.trusses.index import TrussIndex
+
+if TYPE_CHECKING:
+    from repro.engine import CTCEngine
 
 __all__ = ["search", "available_methods", "build_index"]
 
@@ -50,7 +55,7 @@ def build_index(graph: UndirectedGraph) -> TrussIndex:
 
 
 def search(
-    graph: UndirectedGraph | TrussIndex,
+    graph: UndirectedGraph | TrussIndex | "CTCEngine",
     query: Sequence[Hashable],
     method: str = "lctc",
     *,
@@ -64,8 +69,10 @@ def search(
     Parameters
     ----------
     graph:
-        Either an :class:`UndirectedGraph` (an index is built on the fly) or
-        a prebuilt :class:`TrussIndex`.
+        An :class:`UndirectedGraph` (an index is built on the fly — pay this
+        cost once per graph by preferring the alternatives for repeated
+        queries), a prebuilt :class:`TrussIndex`, or a
+        :class:`~repro.engine.CTCEngine` (served from its cached snapshot).
     query:
         Non-empty sequence of query nodes; duplicates are ignored.
     method:
@@ -92,7 +99,16 @@ def search(
         Propagated from the underlying algorithm when the query is invalid
         or no community exists.
     """
-    index = graph if isinstance(graph, TrussIndex) else TrussIndex(graph)
+    if isinstance(graph, TrussIndex):
+        index = graph
+    else:
+        # Imported lazily: repro.engine depends on this module for search().
+        from repro.engine import CTCEngine
+
+        if isinstance(graph, CTCEngine):
+            index = graph.snapshot().index
+        else:
+            index = TrussIndex(graph)
 
     if method == "basic":
         return BasicCTC(index, time_budget_seconds=time_budget_seconds).search(query)

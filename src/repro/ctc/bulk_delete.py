@@ -11,6 +11,24 @@ A stricter variant (``threshold_offset=0``) deletes only vertices with
 distance >= ``d``; it keeps the 2-approximation and is the shrinking step
 LCTC applies to its locally-explored truss (Section 5.2, "Reduce the
 diameter of G0").
+
+Paper cross-references
+----------------------
+* Algorithm 4 — the bulk-deletion loop (:meth:`BulkDeleteCTC._select_victims`
+  plugged into the shared peel engine of :class:`~repro.ctc.basic.BasicCTC`).
+* Lemma 6 / Theorem 6 (Section 4.4) — iteration bound O(n'/k) and the
+  ``(2 + eps)``-approximation guarantee.
+* Section 5.2 — the conservative ``threshold_offset=0`` variant used inside
+  LCTC.
+* Figures 5-10 — the experiments where BD's speed/quality trade-off against
+  Basic is measured (reproduced in ``benchmarks/bench_fig5_*`` ..
+  ``bench_fig10_*``).
+
+Vertex deletions are applied through
+:class:`~repro.trusses.maintenance.KTrussMaintainer` (Algorithm 3), whose
+per-edge support table is keyed by
+:func:`~repro.graph.simple_graph.edge_key` — see that docstring's
+mixed-type ordering caveat before indexing it directly.
 """
 
 from __future__ import annotations

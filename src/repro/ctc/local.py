@@ -18,6 +18,23 @@ The global algorithms (Basic, BD) touch the whole maximal connected k-truss
 LCTC is a heuristic overall: its answer may have lower trussness than the
 global optimum when the expansion budget cuts the community short, which is
 exactly the trade-off Figure 13(b) of the paper quantifies.
+
+Paper cross-references
+----------------------
+* Algorithm 5 — the four-step pipeline implemented by
+  :meth:`LocalCTC.search`.
+* Definition 7 / Section 5.1 — the truss distance minimised by the Steiner
+  tree seed (:mod:`repro.ctc.steiner`), with gamma weighting the trussness
+  penalty.
+* Section 5.2 — local expansion under the budget ``eta`` and the
+  conservative BulkDelete shrink (``threshold_offset=0``).
+* Figures 13(b), 15, 16 — quality vs. the global methods, and the eta /
+  gamma sensitivity experiments (``benchmarks/bench_fig15_vary_eta.py``,
+  ``benchmarks/bench_fig16_vary_gamma.py``).
+
+Step 3's local re-decomposition consumes per-edge trussness dicts keyed by
+:func:`~repro.graph.simple_graph.edge_key`; see that docstring's mixed-type
+ordering caveat before indexing them directly.
 """
 
 from __future__ import annotations

@@ -1,0 +1,10 @@
+"""Read-optimized query engine: mutable store + cached CSR/index snapshots.
+
+See :mod:`repro.engine.core` for the design discussion and
+``docs/ARCHITECTURE.md`` for the layer diagram and the caching/invalidation
+contract.
+"""
+
+from repro.engine.core import CTCEngine, EngineSnapshot, EngineStats
+
+__all__ = ["CTCEngine", "EngineSnapshot", "EngineStats"]

@@ -1,0 +1,365 @@
+""":class:`CTCEngine`: serve many CTC queries from cached, read-optimized snapshots.
+
+The paper assumes an offline-indexed setting: build the truss index once,
+then answer queries against it (Table 3 prices index construction separately
+from query time).  The seed implementation of :func:`repro.ctc.api.search`
+nonetheless rebuilt a :class:`TrussIndex` per call whenever handed a plain
+graph, so repeated queries paid the full O(rho * m) decomposition every
+time.
+
+``CTCEngine`` closes that gap with an HTAP-replica design (cf. Polynesia,
+arXiv:2103.00798): one **mutable store** (an
+:class:`~repro.graph.simple_graph.UndirectedGraph`) absorbs updates, while
+every analytical query is served from a **frozen snapshot** of that store —
+a :class:`~repro.graph.csr.CSRGraph` plus a :class:`TrussIndex` whose
+decomposition ran on the CSR fast path.
+
+Caching / invalidation contract
+-------------------------------
+* The store carries a monotonically increasing **version**; every mutation
+  that actually changes the graph bumps it (no-ops such as re-adding an
+  existing edge do not).
+* Snapshots are memoized in an LRU keyed by version, so a burst of queries
+  against an unchanging graph builds exactly one snapshot, and an
+  alternating read/write workload can still hit older cached versions while
+  a handle to them is useful.
+* Mutations routed through a :class:`KTrussMaintainer` obtained from
+  :meth:`CTCEngine.maintainer` invalidate the cache through the
+  maintainer's mutation hooks: any cascade that removes something bumps the
+  version.
+* A snapshot, once built, is immutable: it holds a private frozen copy of
+  the store, so in-flight results never see later mutations.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.ctc.result import CommunityResult
+from repro.exceptions import StaleMaintainerError
+from repro.graph.csr import CSRGraph
+from repro.graph.simple_graph import UndirectedGraph
+from repro.trusses.decomposition import truss_decomposition
+from repro.trusses.index import TrussIndex
+from repro.trusses.maintenance import KTrussMaintainer
+
+__all__ = ["CTCEngine", "EngineSnapshot", "EngineStats"]
+
+#: Default number of graph versions whose snapshots stay cached.
+DEFAULT_CACHE_SIZE = 4
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """One frozen, fully-indexed version of the engine's store.
+
+    Attributes
+    ----------
+    version:
+        The store version this snapshot was built from.
+    graph:
+        A private frozen copy of the store at that version (never mutated).
+    csr:
+        The CSR form of ``graph`` (the read replica the decomposition ran on).
+    index:
+        A :class:`TrussIndex` over ``graph``, built from the CSR-path
+        decomposition.
+    """
+
+    version: int
+    graph: UndirectedGraph
+    csr: CSRGraph
+    index: TrussIndex
+
+
+@dataclass
+class EngineStats:
+    """Cache and build counters (cumulative over the engine's lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    build_seconds: float = field(default=0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the counters as a plain dict (for CLI/benchmark reporting)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "build_seconds": self.build_seconds,
+        }
+
+
+class CTCEngine:
+    """Query engine owning one mutable store and an LRU of frozen snapshots.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph content.  Copied by default so later engine mutations
+        never surprise the caller; pass ``copy=False`` to adopt the graph as
+        the store (the caller must then mutate it only through the engine).
+    cache_size:
+        How many distinct graph versions keep their snapshot cached
+        (``>= 1``).
+    copy:
+        Whether to copy ``graph`` on construction.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import complete_graph
+    >>> engine = CTCEngine(complete_graph(5))
+    >>> engine.query([0, 1]).trussness
+    5
+    >>> engine.stats.misses, engine.stats.hits
+    (1, 0)
+    >>> _ = engine.query([1, 2])          # same version: snapshot reused
+    >>> engine.stats.misses, engine.stats.hits
+    (1, 1)
+    """
+
+    def __init__(
+        self,
+        graph: UndirectedGraph | None = None,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        copy: bool = True,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if graph is None:
+            self._graph = UndirectedGraph()
+        else:
+            self._graph = graph.copy() if copy else graph
+        self._version = 0
+        self._cache_size = cache_size
+        self._cache: OrderedDict[int, EngineSnapshot] = OrderedDict()
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # store access
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> UndirectedGraph:
+        """The live mutable store.
+
+        Mutate it only through the engine's mutation methods (or a
+        :meth:`maintainer`); direct mutation bypasses version tracking and
+        leaves stale snapshots in the cache.
+        """
+        return self._graph
+
+    @property
+    def version(self) -> int:
+        """The current store version (bumped by every effective mutation)."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
+        self.stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # mutations (every effective one bumps the version)
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add edge ``(u, v)`` to the store; a no-op if already present."""
+        if not self._graph.has_edge(u, v):
+            self._graph.add_edge(u, v)
+            self._bump()
+
+    def add_edges_from(self, edges: Iterable[tuple[Hashable, Hashable]]) -> None:
+        """Add every edge in ``edges``; bumps the version once if anything changed.
+
+        The bump happens even if the iterable fails part-way (bad tuple,
+        self-loop): edges added before the failure are in the store, so the
+        cache must not keep serving the pre-mutation snapshot.
+        """
+        changed = False
+        try:
+            for u, v in edges:
+                if not self._graph.has_edge(u, v):
+                    self._graph.add_edge(u, v)
+                    changed = True
+        finally:
+            if changed:
+                self._bump()
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        """Remove edge ``(u, v)`` from the store.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        self._graph.remove_edge(u, v)
+        self._bump()
+
+    def add_node(self, node: Hashable) -> None:
+        """Add ``node`` to the store; a no-op if already present."""
+        if not self._graph.has_node(node):
+            self._graph.add_node(node)
+            self._bump()
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove ``node`` and its incident edges from the store.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If ``node`` is not in the store.
+        """
+        self._graph.remove_node(node)
+        self._bump()
+
+    # ------------------------------------------------------------------
+    # maintenance integration (Algorithm 3 hooks)
+    # ------------------------------------------------------------------
+    def maintainer(self, k: int) -> KTrussMaintainer:
+        """Return a :class:`KTrussMaintainer` bound **in place** to the store.
+
+        Deletion cascades run through the returned maintainer mutate the
+        store directly and invalidate cached snapshots via the maintainer's
+        mutation hooks — this is the supported way to apply Algorithm 3
+        deletions to an engine-owned graph.
+
+        The maintainer's edge-support table is computed at creation time,
+        so it is only valid while it is the sole mutation channel: if the
+        store is mutated through anything else afterwards (``add_edge``,
+        ``remove_node``, another maintainer, ...), further cascades raise
+        :class:`~repro.exceptions.StaleMaintainerError` — obtain a fresh
+        maintainer instead.
+        """
+        return _EngineMaintainer(self, k)
+
+    def delete_vertices(self, vertices: Iterable[Hashable], k: int) -> tuple[set, set]:
+        """Delete ``vertices`` from the store, restoring the k-truss property.
+
+        Convenience wrapper over :meth:`maintainer`; returns the
+        ``(removed_vertices, removed_edges)`` pair of
+        :meth:`KTrussMaintainer.delete_vertices`.
+        """
+        return self.maintainer(k).delete_vertices(vertices)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EngineSnapshot:
+        """Return the snapshot for the current version, building it on a miss.
+
+        The build freezes the store, converts it to CSR, runs the array-path
+        truss decomposition, and assembles a :class:`TrussIndex` from the
+        precomputed trussness (so the index build skips its own
+        decomposition).
+        """
+        version = self._version
+        cached = self._cache.get(version)
+        if cached is not None:
+            self.stats.hits += 1
+            self._cache.move_to_end(version)
+            return cached
+
+        self.stats.misses += 1
+        started = time.perf_counter()
+        frozen = self._graph.copy()
+        csr = CSRGraph.from_graph(frozen)
+        # Dispatches to the CSR array path and returns the edge-key dict.
+        edge_trussness = truss_decomposition(csr)
+        index = TrussIndex(frozen, edge_trussness=edge_trussness)
+        built = EngineSnapshot(version=version, graph=frozen, csr=csr, index=index)
+        self.stats.build_seconds += time.perf_counter() - started
+
+        self._cache[version] = built
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return built
+
+    def cached_versions(self) -> list[int]:
+        """Return the versions currently cached, oldest first."""
+        return list(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every cached snapshot (they are rebuilt on demand)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: Sequence[Hashable],
+        method: str = "lctc",
+        **kwargs,
+    ) -> CommunityResult:
+        """Answer one CTC/baseline query from the current snapshot.
+
+        ``method`` and keyword arguments are those of
+        :func:`repro.ctc.api.search`; the snapshot's prebuilt index is
+        passed, so no per-query decomposition happens.
+        """
+        from repro.ctc.api import search
+
+        return search(self.snapshot().index, query, method=method, **kwargs)
+
+    def query_batch(
+        self,
+        queries: Iterable[Sequence[Hashable]],
+        method: str = "lctc",
+        **kwargs,
+    ) -> list[CommunityResult]:
+        """Answer many queries against one pinned snapshot.
+
+        The snapshot is resolved once up front, so every query in the batch
+        sees the same graph version even if another thread of control
+        mutates the store mid-batch.
+        """
+        from repro.ctc.api import search
+
+        index = self.snapshot().index
+        return [search(index, query, method=method, **kwargs) for query in queries]
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(version={self._version}, "
+            f"nodes={self._graph.number_of_nodes()}, "
+            f"edges={self._graph.number_of_edges()}, "
+            f"cached={len(self._cache)}/{self._cache_size})"
+        )
+
+
+class _EngineMaintainer(KTrussMaintainer):
+    """A :class:`KTrussMaintainer` bound to an engine's live store.
+
+    Adds two behaviours over the base class: every effective cascade bumps
+    the engine version (cache invalidation), and cascades refuse to run if
+    the store was mutated through any other channel since this maintainer
+    was created (its support table would be stale — see
+    :class:`~repro.exceptions.StaleMaintainerError`).
+    """
+
+    def __init__(self, engine: CTCEngine, k: int) -> None:
+        super().__init__(engine.graph, k, copy_graph=False)
+        self._engine = engine
+        self._expected_version = engine.version
+        self.register_mutation_hook(self._on_cascade)
+
+    def _on_cascade(self, removed_vertices: set, removed_edges: set) -> None:
+        self._engine._bump()
+        self._expected_version = self._engine.version
+
+    def delete_vertices(self, vertices: Iterable[Hashable]) -> tuple[set, set]:
+        if self._engine.version != self._expected_version:
+            raise StaleMaintainerError(
+                f"the engine's store moved from version {self._expected_version} "
+                f"to {self._engine.version} since this maintainer was created; "
+                "its support table is stale — obtain a fresh maintainer via "
+                "CTCEngine.maintainer()"
+            )
+        return super().delete_vertices(vertices)

@@ -60,5 +60,16 @@ class IndexNotBuiltError(ReproError):
     """A truss-index-dependent operation was invoked before building the index."""
 
 
+class StaleMaintainerError(ReproError):
+    """An engine-bound k-truss maintainer was used after the store moved on.
+
+    A :class:`~repro.trusses.maintenance.KTrussMaintainer` obtained from
+    :meth:`~repro.engine.CTCEngine.maintainer` computes its edge-support
+    table at creation time; if the engine's store is mutated through any
+    other channel afterwards, that table is stale and further cascades
+    would corrupt the graph.  Obtain a fresh maintainer instead.
+    """
+
+
 class ConfigurationError(ReproError):
     """An experiment or dataset configuration is inconsistent."""

@@ -20,6 +20,7 @@ from repro.graph.properties import (
     edge_density,
     graph_summary,
 )
+from repro.graph.csr import CSRGraph
 from repro.graph.simple_graph import UndirectedGraph, edge_key
 from repro.graph.traversal import (
     bfs_distances,
@@ -42,6 +43,7 @@ from repro.graph.views import DeletionView, filter_edges_by, induced_subgraph
 
 __all__ = [
     "UndirectedGraph",
+    "CSRGraph",
     "edge_key",
     "UnionFind",
     "connected_components",

@@ -1,0 +1,279 @@
+"""``CSRGraph``: a frozen, read-optimized snapshot of an :class:`UndirectedGraph`.
+
+The mutable dict-of-sets :class:`~repro.graph.simple_graph.UndirectedGraph`
+is the right store for updates (O(1) edge insertion/deletion), but it is a
+poor substrate for the read-heavy analytical side of CTC search: every
+neighbourhood walk chases pointers through hash sets, every per-edge
+attribute lives behind a tuple-keyed dict, and nothing is cache-friendly.
+
+``CSRGraph`` is the read replica.  It freezes a graph into compressed
+sparse row (CSR) form:
+
+* nodes are remapped to dense integer ids ``0..n-1`` (sorted by label when
+  the labels are comparable, by ``repr`` otherwise, so the remapping is
+  deterministic);
+* the adjacency of node ``i`` is the sorted slice
+  ``indices[indptr[i]:indptr[i + 1]]``, giving O(1) degree, O(log d)
+  membership tests and merge-based common-neighbour intersection;
+* every undirected edge gets a dense integer *edge id* in ``0..m-1``
+  (assigned in row-major ``(u, v)`` order with ``u < v``), and the parallel
+  ``slot_edge`` array maps each adjacency slot to its edge id, so per-edge
+  attributes (support, trussness) can live in flat ``numpy`` arrays instead
+  of tuple-keyed dicts.
+
+A ``CSRGraph`` is immutable by contract: it represents one *version* of the
+mutable store.  :class:`~repro.engine.CTCEngine` builds one per graph
+version and serves every analytical query from it, which is the
+HTAP-replica design the ROADMAP's scaling track builds on.
+
+The array-based truss routines that consume this layout live in
+:mod:`repro.trusses.csr_decomposition`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+import numpy as np
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graph.simple_graph import UndirectedGraph, edge_key
+
+__all__ = ["CSRGraph"]
+
+EdgeKey = tuple[Hashable, Hashable]
+
+
+class CSRGraph:
+    """An immutable compressed-sparse-row snapshot of an undirected graph.
+
+    Build one with :meth:`from_graph`; the constructor is internal.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; node ``i``'s adjacency occupies
+        ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``int64`` array of length ``2m`` holding neighbour ids, sorted
+        within each row.
+    slot_edge:
+        ``int64`` array parallel to ``indices`` mapping each adjacency slot
+        to the id of its undirected edge.
+    edge_u, edge_v:
+        ``int64`` arrays of length ``m``; edge ``e`` connects ids
+        ``edge_u[e] < edge_v[e]``.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import complete_graph
+    >>> csr = CSRGraph.from_graph(complete_graph(4))
+    >>> csr.number_of_nodes(), csr.number_of_edges()
+    (4, 6)
+    >>> csr.degree(0)
+    3
+    """
+
+    __slots__ = ("indptr", "indices", "slot_edge", "edge_u", "edge_v", "_labels", "_ids")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        slot_edge: np.ndarray,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        labels: list[Hashable],
+        ids: dict[Hashable, int],
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.slot_edge = slot_edge
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self._labels = labels
+        self._ids = ids
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: UndirectedGraph) -> "CSRGraph":
+        """Freeze ``graph`` into CSR form.
+
+        The node-id remapping sorts labels directly when they are mutually
+        comparable and by ``repr`` otherwise, so two structurally identical
+        graphs always freeze to the same arrays.
+        """
+        try:
+            labels = sorted(graph.nodes())
+        except TypeError:
+            labels = sorted(graph.nodes(), key=repr)
+        ids = {label: position for position, label in enumerate(labels)}
+        num_nodes = len(labels)
+
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        for position, label in enumerate(labels):
+            indptr[position + 1] = graph.degree(label)
+        np.cumsum(indptr, out=indptr)
+
+        total_slots = int(indptr[-1])
+        indices = np.empty(total_slots, dtype=np.int64)
+        for position, label in enumerate(labels):
+            row = sorted(ids[other] for other in graph.neighbors(label))
+            indices[indptr[position]:indptr[position + 1]] = row
+
+        # Edge ids in row-major (u, v) order with u < v.  A reverse slot
+        # (u, v) with v < u always refers to an edge already assigned in row
+        # v, so a single pass with a lookup table suffices.
+        slot_edge = np.empty(total_slots, dtype=np.int64)
+        edge_u: list[int] = []
+        edge_v: list[int] = []
+        assigned: dict[tuple[int, int], int] = {}
+        next_edge = 0
+        for u in range(num_nodes):
+            for slot in range(int(indptr[u]), int(indptr[u + 1])):
+                v = int(indices[slot])
+                if u < v:
+                    slot_edge[slot] = next_edge
+                    assigned[(u, v)] = next_edge
+                    edge_u.append(u)
+                    edge_v.append(v)
+                    next_edge += 1
+                else:
+                    slot_edge[slot] = assigned[(v, u)]
+
+        return cls(
+            indptr=indptr,
+            indices=indices,
+            slot_edge=slot_edge,
+            edge_u=np.asarray(edge_u, dtype=np.int64),
+            edge_v=np.asarray(edge_v, dtype=np.int64),
+            labels=labels,
+            ids=ids,
+        )
+
+    def to_graph(self) -> UndirectedGraph:
+        """Thaw the snapshot back into a mutable :class:`UndirectedGraph`."""
+        graph = UndirectedGraph()
+        for label in self._labels:
+            graph.add_node(label)
+        for e in range(self.number_of_edges()):
+            graph.add_edge(self._labels[int(self.edge_u[e])], self._labels[int(self.edge_v[e])])
+        return graph
+
+    # ------------------------------------------------------------------
+    # counts
+    # ------------------------------------------------------------------
+    def number_of_nodes(self) -> int:
+        """Return the number of nodes."""
+        return len(self._labels)
+
+    def number_of_edges(self) -> int:
+        """Return the number of undirected edges."""
+        return len(self.edge_u)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    # ------------------------------------------------------------------
+    # label <-> id mapping
+    # ------------------------------------------------------------------
+    def node_id(self, label: Hashable) -> int:
+        """Return the dense integer id of ``label``.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If ``label`` is not in the snapshot.
+        """
+        try:
+            return self._ids[label]
+        except KeyError:
+            raise NodeNotFoundError(label) from None
+
+    def node_label(self, node_id: int) -> Hashable:
+        """Return the original label of integer id ``node_id``."""
+        return self._labels[node_id]
+
+    def labels(self) -> list[Hashable]:
+        """Return the labels in id order (a fresh list)."""
+        return list(self._labels)
+
+    def has_node(self, label: Hashable) -> bool:
+        """Return ``True`` if ``label`` is a node of the snapshot."""
+        return label in self._ids
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._ids
+
+    # ------------------------------------------------------------------
+    # adjacency (all by integer id; O(1) degree, O(log d) membership)
+    # ------------------------------------------------------------------
+    def degree(self, node_id: int) -> int:
+        """Return the degree of ``node_id`` in O(1)."""
+        return int(self.indptr[node_id + 1] - self.indptr[node_id])
+
+    def neighbor_ids(self, node_id: int) -> np.ndarray:
+        """Return the sorted neighbour-id array of ``node_id`` (a view, not a copy)."""
+        return self.indices[self.indptr[node_id]:self.indptr[node_id + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if ids ``u`` and ``v`` are adjacent (binary search)."""
+        row = self.neighbor_ids(u)
+        slot = int(np.searchsorted(row, v))
+        return slot < len(row) and int(row[slot]) == v
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Return the edge id of the undirected edge between ids ``u`` and ``v``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not exist.
+        """
+        row = self.neighbor_ids(u)
+        slot = int(np.searchsorted(row, v))
+        if slot >= len(row) or int(row[slot]) != v:
+            raise EdgeNotFoundError(self._labels[u], self._labels[v])
+        return int(self.slot_edge[int(self.indptr[u]) + slot])
+
+    def common_neighbor_ids(self, u: int, v: int) -> np.ndarray:
+        """Return the sorted common-neighbour ids of ``u`` and ``v`` (merge-based)."""
+        return np.intersect1d(self.neighbor_ids(u), self.neighbor_ids(v), assume_unique=True)
+
+    def support(self, u: int, v: int) -> int:
+        """Return the support (triangle count) of the edge between ids ``u`` and ``v``."""
+        return int(self.common_neighbor_ids(u, v).size)
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def edge_endpoint_ids(self, e: int) -> tuple[int, int]:
+        """Return the endpoint ids ``(u, v)`` with ``u < v`` of edge ``e``."""
+        return int(self.edge_u[e]), int(self.edge_v[e])
+
+    def edge_key_of(self, e: int) -> EdgeKey:
+        """Return the canonical label-space :func:`edge_key` of edge ``e``.
+
+        This is the bridge between the array world (dense edge ids) and the
+        dict world (tuple-keyed per-edge attributes): converting a per-edge
+        array ``values`` into ``{csr.edge_key_of(e): values[e]}`` yields a
+        dict interchangeable with the dict-path outputs.
+        """
+        return edge_key(self._labels[int(self.edge_u[e])], self._labels[int(self.edge_v[e])])
+
+    def edge_keys(self) -> list[EdgeKey]:
+        """Return the canonical edge key of every edge, indexed by edge id."""
+        return [self.edge_key_of(e) for e in range(self.number_of_edges())]
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Iterate over canonical label-space edge keys in edge-id order."""
+        for e in range(self.number_of_edges()):
+            yield self.edge_key_of(e)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )

@@ -46,7 +46,22 @@ def all_edge_supports(graph: UndirectedGraph) -> dict[tuple[Hashable, Hashable],
 
     Runs in O(sum over oriented edges of forward-degree) time, which is the
     classic compact-forward triangle counting bound.
+
+    Also accepts a frozen :class:`~repro.graph.csr.CSRGraph` snapshot, in
+    which case the array-based counter of
+    :func:`~repro.trusses.csr_decomposition.csr_edge_supports` runs and its
+    result is converted to the same canonical-edge-key dict.  (The imports
+    are deferred so the graph layer stays import-time independent of the
+    truss layer.)
     """
+    if not isinstance(graph, UndirectedGraph):
+        from repro.graph.csr import CSRGraph
+
+        if isinstance(graph, CSRGraph):
+            from repro.trusses.csr_decomposition import csr_edge_supports
+
+            values = csr_edge_supports(graph)
+            return {graph.edge_key_of(e): int(values[e]) for e in range(graph.number_of_edges())}
     supports: dict[tuple[Hashable, Hashable], int] = {
         edge_key(u, v): 0 for u, v in graph.edges()
     }

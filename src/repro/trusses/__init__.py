@@ -1,5 +1,13 @@
-"""Truss machinery: decomposition, the truss index, FindG0 and maintenance."""
+"""Truss machinery: decomposition, the truss index, FindG0 and maintenance.
 
+Decomposition and support counting each exist in two drop-in-equivalent
+flavours: the dict path (any :class:`~repro.graph.simple_graph.UndirectedGraph`)
+and the array path over a frozen :class:`~repro.graph.csr.CSRGraph` snapshot
+(:mod:`repro.trusses.csr_decomposition`); ``truss_decomposition`` dispatches
+on the input type.
+"""
+
+from repro.trusses.csr_decomposition import csr_edge_supports, csr_truss_decomposition
 from repro.trusses.decomposition import (
     graph_trussness,
     k_truss_subgraph,
@@ -24,6 +32,8 @@ from repro.trusses.maintenance import KTrussMaintainer, restore_k_truss
 
 __all__ = [
     "truss_decomposition",
+    "csr_edge_supports",
+    "csr_truss_decomposition",
     "vertex_trussness",
     "graph_trussness",
     "max_trussness",

@@ -13,12 +13,32 @@ paper's reference [29]):
 
 A bucket queue keyed by support keeps the whole procedure at
 O(rho * m) time, where rho is the arboricity, matching Remark 1 of the paper.
+
+Two interchangeable execution paths exist:
+
+* the **dict path** below, which works on any mutable
+  :class:`~repro.graph.simple_graph.UndirectedGraph`;
+* the **array path** in :mod:`repro.trusses.csr_decomposition`, which runs
+  on a frozen :class:`~repro.graph.csr.CSRGraph` snapshot.
+
+:func:`truss_decomposition` dispatches on the input type and always returns
+the same canonical-edge-key dict, so callers never need to care which path
+ran.
+
+.. note::
+   All per-edge dicts produced and consumed here are keyed by
+   :func:`~repro.graph.simple_graph.edge_key`.  See that function's
+   docstring for the mixed-type ordering caveat: keys must always be
+   produced through ``edge_key`` (never by hand-ordering tuples), and node
+   labels that compare equal across types (``1``, ``1.0``, ``True``)
+   collide as dict keys.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable
 
+from repro.graph.csr import CSRGraph
 from repro.graph.simple_graph import UndirectedGraph, edge_key
 from repro.graph.triangles import all_edge_supports
 
@@ -34,11 +54,17 @@ __all__ = [
 EdgeKey = tuple[Hashable, Hashable]
 
 
-def truss_decomposition(graph: UndirectedGraph) -> dict[EdgeKey, int]:
+def truss_decomposition(graph: UndirectedGraph | CSRGraph) -> dict[EdgeKey, int]:
     """Return the trussness of every edge of ``graph``.
 
     The result maps canonical edge keys to trussness values ``>= 2``.  Edges
     in no triangle have trussness exactly 2.
+
+    Accepts either a mutable :class:`UndirectedGraph` (dict-based peeling
+    below) or a frozen :class:`~repro.graph.csr.CSRGraph` snapshot (the
+    array-based fast path of
+    :func:`~repro.trusses.csr_decomposition.csr_truss_decomposition`); both
+    produce identical dicts.
 
     Examples
     --------
@@ -47,6 +73,11 @@ def truss_decomposition(graph: UndirectedGraph) -> dict[EdgeKey, int]:
     >>> set(trussness.values())
     {4}
     """
+    if isinstance(graph, CSRGraph):
+        from repro.trusses.csr_decomposition import csr_truss_decomposition
+
+        values = csr_truss_decomposition(graph)
+        return {graph.edge_key_of(e): int(values[e]) for e in range(graph.number_of_edges())}
     supports = all_edge_supports(graph)
     if not supports:
         return {}

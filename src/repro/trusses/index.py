@@ -10,6 +10,15 @@ k-truss extraction never rescans low-trussness edges.
 
 Construction cost is the truss decomposition, O(rho * m), plus an
 O(m log d_max) sort — matching Remark 1 of the paper up to the sort factor.
+Passing a precomputed ``edge_trussness`` dict skips the decomposition; this
+is how :class:`~repro.engine.CTCEngine` assembles indexes from the CSR
+fast-path decomposition.
+
+.. note::
+   The ``edge_trussness`` map consumed and stored here is keyed by
+   :func:`~repro.graph.simple_graph.edge_key`; see its docstring for the
+   mixed-type ordering caveat (hand-ordered tuples are not valid keys, and
+   cross-type equal labels like ``1``/``1.0`` collide).
 """
 
 from __future__ import annotations

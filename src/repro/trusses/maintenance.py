@@ -11,13 +11,31 @@ dropped.
 :class:`KTrussMaintainer` owns a mutable working copy of ``G0`` together
 with its edge-support table, so that the cascade runs in time proportional to
 the number of triangles destroyed rather than recomputing supports from
-scratch each iteration (this is what makes Algorithms 1 and 4 practical).
+scratch each iteration (this is what makes Algorithms 1 and 4 practical;
+see Section 4.2 "Maintenance of k-truss" and the complexity discussion in
+Section 4.4).
+
+Mutation hooks
+--------------
+Interested parties can observe every completed deletion cascade via
+:meth:`KTrussMaintainer.register_mutation_hook`.  This is how
+:class:`~repro.engine.CTCEngine` invalidates its cached read-optimized
+snapshots when the maintainer is driven directly against the engine's live
+store (``copy_graph=False``): any cascade that actually removes something
+bumps the engine's graph version.
+
+.. note::
+   The ``_support`` table is keyed by
+   :func:`~repro.graph.simple_graph.edge_key`; see that function's
+   docstring for the mixed-type ordering caveat.  Lookups must always go
+   through ``edge_key`` — indexing with a hand-ordered ``(u, v)`` tuple
+   silently misses when the canonical order is ``(v, u)``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Hashable, Iterable
+from collections.abc import Callable, Hashable, Iterable
 
 from repro.graph.simple_graph import UndirectedGraph, edge_key
 from repro.graph.triangles import all_edge_supports
@@ -26,6 +44,10 @@ __all__ = ["KTrussMaintainer", "restore_k_truss"]
 
 EdgeKey = tuple[Hashable, Hashable]
 
+#: Signature of a mutation hook: called after each completed deletion
+#: cascade with the sets of removed vertices and removed (canonical) edges.
+MutationHook = Callable[[set[Hashable], set[EdgeKey]], None]
+
 
 class KTrussMaintainer:
     """Maintains a k-truss under batched vertex deletions.
@@ -33,17 +55,23 @@ class KTrussMaintainer:
     Parameters
     ----------
     graph:
-        The starting k-truss (typically ``G0`` from FindG0).  A private copy
-        is made; the caller's graph is never mutated.
+        The starting k-truss (typically ``G0`` from FindG0).  By default a
+        private copy is made and the caller's graph is never mutated.
     k:
         The trussness level to maintain: after every deletion batch, each
         surviving edge has support >= ``k - 2`` within the surviving graph.
+    copy_graph:
+        When ``False`` the maintainer operates **in place** on the caller's
+        graph instead of a private copy.  :class:`~repro.engine.CTCEngine`
+        uses this to route mutations through the maintainer while keeping a
+        single authoritative store.
     """
 
-    def __init__(self, graph: UndirectedGraph, k: int) -> None:
-        self._graph = graph.copy()
+    def __init__(self, graph: UndirectedGraph, k: int, *, copy_graph: bool = True) -> None:
+        self._graph = graph.copy() if copy_graph else graph
         self._k = k
         self._support: dict[EdgeKey, int] = all_edge_supports(self._graph)
+        self._hooks: list[MutationHook] = []
 
     # ------------------------------------------------------------------
     @property
@@ -63,6 +91,15 @@ class KTrussMaintainer:
     def snapshot(self) -> UndirectedGraph:
         """Return an immutable copy of the current working graph."""
         return self._graph.copy()
+
+    def register_mutation_hook(self, hook: MutationHook) -> None:
+        """Register ``hook`` to run after every deletion cascade that removed something.
+
+        Hooks receive ``(removed_vertices, removed_edges)``; cascades that
+        remove nothing (e.g. deleting vertices that are already gone) do not
+        fire them.
+        """
+        self._hooks.append(hook)
 
     # ------------------------------------------------------------------
     def delete_vertices(self, vertices: Iterable[Hashable]) -> tuple[set[Hashable], set[EdgeKey]]:
@@ -115,6 +152,9 @@ class KTrussMaintainer:
             if self._graph.degree(vertex) == 0:
                 self._graph.remove_node(vertex)
                 removed_vertices.add(vertex)
+        if removed_vertices or removed_edges:
+            for hook in self._hooks:
+                hook(removed_vertices, removed_edges)
         return removed_vertices, removed_edges
 
     def delete_vertex(self, vertex: Hashable) -> tuple[set[Hashable], set[EdgeKey]]:

@@ -1,0 +1,168 @@
+"""Tests for the CTCEngine cache/invalidation contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctc.api import search
+from repro.engine import CTCEngine
+from repro.exceptions import EdgeNotFoundError, GraphError, StaleMaintainerError
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+
+
+@pytest.fixture
+def engine():
+    return CTCEngine(erdos_renyi_graph(40, 0.2, seed=11))
+
+
+class TestCaching:
+    def test_repeated_queries_hit_the_cache(self, engine):
+        engine.query([0, 1], method="bulk-delete")
+        engine.query([2, 3], method="bulk-delete")
+        engine.query([0, 1], method="lctc", eta=20)
+        assert engine.stats.misses == 1
+        assert engine.stats.hits == 2
+
+    def test_query_batch_builds_one_snapshot(self, engine):
+        results = engine.query_batch([[0, 1], [2, 3], [4, 5]], method="bulk-delete")
+        assert len(results) == 3
+        assert engine.stats.misses == 1
+
+    def test_snapshot_is_pinned_to_version(self, engine):
+        first = engine.snapshot()
+        engine.add_edge(997, 998)
+        second = engine.snapshot()
+        assert first.version != second.version
+        assert not first.graph.has_node(997)
+        assert second.graph.has_node(997)
+
+    def test_lru_eviction(self):
+        engine = CTCEngine(complete_graph(5), cache_size=2)
+        versions = []
+        for extra in range(4):
+            engine.add_edge(100 + extra, 101 + extra)
+            engine.snapshot()
+            versions.append(engine.version)
+        assert engine.cached_versions() == versions[-2:]
+        assert engine.stats.evictions == 2
+
+    def test_clear_cache(self, engine):
+        engine.snapshot()
+        engine.clear_cache()
+        assert engine.cached_versions() == []
+        engine.snapshot()
+        assert engine.stats.misses == 2
+
+    def test_cache_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CTCEngine(complete_graph(3), cache_size=0)
+
+
+class TestInvalidation:
+    def test_mutations_bump_version(self, engine):
+        version = engine.version
+        engine.add_edge(900, 901)
+        assert engine.version == version + 1
+        engine.remove_edge(900, 901)
+        assert engine.version == version + 2
+        engine.add_node(950)
+        assert engine.version == version + 3
+        engine.remove_node(950)
+        assert engine.version == version + 4
+
+    def test_noop_mutations_do_not_bump(self, engine):
+        engine.add_edge(0, 1)  # ensure the edge exists (may bump once)
+        version = engine.version
+        engine.add_edge(0, 1)  # already present
+        engine.add_node(0)  # already present
+        engine.add_edges_from([(0, 1)])  # all present
+        assert engine.version == version
+
+    def test_mutation_invalidates_cached_snapshot(self, engine):
+        before = engine.query([0, 1], method="bulk-delete")
+        engine.remove_node(max(engine.graph.node_set()))
+        engine.query([0, 1], method="bulk-delete")
+        assert engine.stats.misses == 2
+        assert before.graph.number_of_nodes() >= 2  # old result untouched
+
+    def test_remove_missing_edge_raises_without_bump(self, engine):
+        version = engine.version
+        with pytest.raises(EdgeNotFoundError):
+            engine.remove_edge(777, 778)
+        assert engine.version == version
+
+    def test_partial_add_edges_from_still_bumps(self, engine):
+        """Edges added before a mid-iterable failure must invalidate the cache."""
+        engine.snapshot()
+        version = engine.version
+        with pytest.raises(GraphError):
+            engine.add_edges_from([(800, 801), (802, 802)])  # self-loop fails
+        assert engine.graph.has_edge(800, 801)
+        assert engine.version == version + 1  # cache cannot serve stale state
+
+
+class TestMaintainerHooks:
+    def test_maintainer_deletions_invalidate(self):
+        engine = CTCEngine(complete_graph(6))
+        engine.snapshot()
+        version = engine.version
+        removed_vertices, removed_edges = engine.delete_vertices([0], k=4)
+        assert 0 in removed_vertices
+        assert engine.version > version
+        assert not engine.graph.has_node(0)
+        # The next query sees the mutated store.
+        engine.query([1, 2], method="bulk-delete")
+        assert engine.stats.misses == 2
+
+    def test_deleting_absent_vertices_is_a_noop(self):
+        engine = CTCEngine(complete_graph(5))
+        version = engine.version
+        removed_vertices, removed_edges = engine.delete_vertices([99], k=3)
+        assert removed_vertices == set() and removed_edges == set()
+        assert engine.version == version
+
+    def test_maintainer_operates_in_place(self):
+        engine = CTCEngine(complete_graph(6))
+        maintainer = engine.maintainer(4)
+        assert maintainer.graph is engine.graph
+
+    def test_stale_maintainer_refuses_to_run(self):
+        """A maintainer is invalid once the store mutates through another channel."""
+        engine = CTCEngine(complete_graph(7))
+        maintainer = engine.maintainer(4)
+        maintainer.delete_vertex(0)  # own cascades keep it fresh
+        engine.add_edge(100, 101)  # any other mutation stales it
+        with pytest.raises(StaleMaintainerError):
+            maintainer.delete_vertex(1)
+        # A fresh maintainer works again.
+        engine.maintainer(4).delete_vertex(1)
+        assert not engine.graph.has_node(1)
+
+
+class TestCorrectness:
+    def test_engine_results_match_direct_search(self, engine):
+        for query in ([0, 1], [5, 9], [2]):
+            via_engine = engine.query(query, method="bulk-delete")
+            direct = search(engine.graph, query, method="bulk-delete")
+            assert via_engine.nodes == direct.nodes
+            assert via_engine.trussness == direct.trussness
+
+    def test_search_facade_accepts_engine(self, engine):
+        result = search(engine, [0, 1], method="bulk-delete")
+        assert result.contains_query()
+        assert engine.stats.misses == 1
+
+    def test_copy_semantics(self):
+        graph = complete_graph(4)
+        copying = CTCEngine(graph)
+        copying.add_edge(50, 51)
+        assert not graph.has_node(50)
+        adopting = CTCEngine(graph, copy=False)
+        adopting.add_edge(60, 61)
+        assert graph.has_node(60)
+
+    def test_empty_engine(self):
+        engine = CTCEngine()
+        assert engine.graph.number_of_nodes() == 0
+        snapshot = engine.snapshot()
+        assert snapshot.csr.number_of_edges() == 0

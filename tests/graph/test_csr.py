@@ -1,0 +1,121 @@
+"""Tests for the CSRGraph frozen snapshot type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi_graph, star_graph
+from repro.graph.simple_graph import UndirectedGraph, edge_key
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        csr = CSRGraph.from_graph(UndirectedGraph())
+        assert csr.number_of_nodes() == 0
+        assert csr.number_of_edges() == 0
+        assert list(csr.edges()) == []
+
+    def test_isolated_nodes_survive(self):
+        graph = UndirectedGraph()
+        graph.add_nodes_from([3, 1, 2])
+        csr = CSRGraph.from_graph(graph)
+        assert csr.number_of_nodes() == 3
+        assert csr.number_of_edges() == 0
+        assert all(csr.degree(i) == 0 for i in range(3))
+
+    def test_labels_sorted_when_comparable(self):
+        graph = UndirectedGraph([(5, 2), (2, 9)])
+        csr = CSRGraph.from_graph(graph)
+        assert csr.labels() == [2, 5, 9]
+        assert csr.node_id(2) == 0
+        assert csr.node_label(2) == 9
+
+    def test_mixed_label_types_fall_back_to_repr_order(self):
+        graph = UndirectedGraph([(1, "a"), ("a", (2, 3))])
+        csr = CSRGraph.from_graph(graph)
+        assert set(csr.labels()) == {1, "a", (2, 3)}
+        # Round trip preserves the structure regardless of ordering.
+        assert csr.to_graph() == graph
+
+    def test_rows_are_sorted(self):
+        graph = erdos_renyi_graph(30, 0.3, seed=1)
+        csr = CSRGraph.from_graph(graph)
+        for node in range(csr.number_of_nodes()):
+            row = csr.neighbor_ids(node).tolist()
+            assert row == sorted(row)
+
+    def test_roundtrip_equality(self):
+        graph = erdos_renyi_graph(25, 0.2, seed=4)
+        assert CSRGraph.from_graph(graph).to_graph() == graph
+
+
+class TestAdjacency:
+    def test_degree_matches_dict_graph(self):
+        graph = erdos_renyi_graph(30, 0.25, seed=2)
+        csr = CSRGraph.from_graph(graph)
+        for label in graph.nodes():
+            assert csr.degree(csr.node_id(label)) == graph.degree(label)
+
+    def test_has_edge(self):
+        graph = star_graph(4)
+        csr = CSRGraph.from_graph(graph)
+        hub = csr.node_id(0)
+        for leaf_label in (1, 2, 3, 4):
+            leaf = csr.node_id(leaf_label)
+            assert csr.has_edge(hub, leaf)
+            assert csr.has_edge(leaf, hub)
+        assert not csr.has_edge(csr.node_id(1), csr.node_id(2))
+
+    def test_common_neighbors_match_dict_graph(self):
+        graph = erdos_renyi_graph(30, 0.3, seed=3)
+        csr = CSRGraph.from_graph(graph)
+        for u, v in graph.edges():
+            expected = {csr.node_id(w) for w in graph.common_neighbors(u, v)}
+            got = set(csr.common_neighbor_ids(csr.node_id(u), csr.node_id(v)).tolist())
+            assert got == expected
+            assert csr.support(csr.node_id(u), csr.node_id(v)) == len(expected)
+
+    def test_node_lookup_errors(self):
+        csr = CSRGraph.from_graph(complete_graph(3))
+        with pytest.raises(NodeNotFoundError):
+            csr.node_id(99)
+        assert 99 not in csr
+        assert 0 in csr
+
+
+class TestEdgeIds:
+    def test_edge_ids_are_dense_and_symmetric(self):
+        graph = erdos_renyi_graph(20, 0.3, seed=5)
+        csr = CSRGraph.from_graph(graph)
+        seen = set()
+        for u, v in graph.edges():
+            i, j = csr.node_id(u), csr.node_id(v)
+            e = csr.edge_id(i, j)
+            assert e == csr.edge_id(j, i)
+            seen.add(e)
+        assert seen == set(range(csr.number_of_edges()))
+
+    def test_edge_endpoints_ordered(self):
+        csr = CSRGraph.from_graph(erdos_renyi_graph(20, 0.3, seed=6))
+        for e in range(csr.number_of_edges()):
+            u, v = csr.edge_endpoint_ids(e)
+            assert u < v
+            assert csr.edge_id(u, v) == e
+
+    def test_edge_keys_match_dict_graph(self):
+        graph = erdos_renyi_graph(20, 0.25, seed=7)
+        csr = CSRGraph.from_graph(graph)
+        assert set(csr.edge_keys()) == graph.edge_set()
+        assert set(csr.edges()) == graph.edge_set()
+
+    def test_missing_edge_raises(self):
+        csr = CSRGraph.from_graph(UndirectedGraph([(0, 1), (1, 2)]))
+        with pytest.raises(EdgeNotFoundError):
+            csr.edge_id(csr.node_id(0), csr.node_id(2))
+
+    def test_edge_key_of_uses_canonical_order(self):
+        graph = UndirectedGraph([("b", "a")])
+        csr = CSRGraph.from_graph(graph)
+        assert csr.edge_key_of(0) == edge_key("a", "b")
