@@ -22,7 +22,7 @@ Quickstart
 4
 """
 
-from repro.ctc.api import available_methods, build_index, search
+from repro.ctc.api import available_methods, build_engine, build_index, search
 from repro.ctc.basic import BasicCTC
 from repro.engine import CTCEngine
 from repro.ctc.bulk_delete import BulkDeleteCTC
@@ -36,10 +36,11 @@ from repro.exceptions import (
     ReproError,
 )
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta
 from repro.graph.simple_graph import UndirectedGraph
 from repro.trusses.index import TrussIndex
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -49,6 +50,8 @@ __all__ = [
     "CTCEngine",
     "search",
     "build_index",
+    "build_engine",
+    "GraphDelta",
     "available_methods",
     "CommunityResult",
     "BasicCTC",

@@ -22,15 +22,14 @@ from collections.abc import Hashable, Sequence
 from repro.ctc.result import CommunityResult
 from repro.exceptions import NoCommunityFoundError
 from repro.graph.components import UnionFind
-from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.keys import EdgeKey, edge_key
+from repro.graph.simple_graph import UndirectedGraph
 from repro.graph.traversal import graph_query_distance
 from repro.trusses.decomposition import k_truss_subgraph
 from repro.trusses.extraction import validate_query
 from repro.trusses.index import TrussIndex
 
 __all__ = ["TriangleConnectedCommunity", "triangle_connected_classes"]
-
-EdgeKey = tuple[Hashable, Hashable]
 
 
 def triangle_connected_classes(truss: UndirectedGraph) -> list[set[EdgeKey]]:

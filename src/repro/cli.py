@@ -13,8 +13,15 @@ Examples
 
     ctc-search search graph.txt --query q1 q2 q3 --method lctc
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100
+    ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --mutate-every 5
     ctc-search experiment table2
     ctc-search experiment fig12 --queries 10
+
+The ``--engine`` family of flags exposes the delta-propagation pipeline:
+``--cache-size`` and ``--delta-threshold`` are the engine's snapshot-LRU
+and rebuild-policy knobs, and ``--mutate-every N`` interleaves one edge
+mutation every N queries (a mixed read/write workload served through the
+delta path instead of full snapshot rebuilds).
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ import time
 from collections.abc import Sequence
 
 from repro.ctc.api import available_methods, search
-from repro.engine import CTCEngine
+from repro.datasets.queries import EdgeChurn
+from repro.engine import DEFAULT_CACHE_SIZE, DEFAULT_DELTA_THRESHOLD, CTCEngine
 from repro.experiments import figures, tables
 from repro.experiments.config import QUICK_CONFIG
 from repro.experiments.reporting import format_table
@@ -78,6 +86,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run the query N times and report throughput (pair with --engine to see caching win)",
     )
+    search_parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=DEFAULT_CACHE_SIZE,
+        help="engine snapshot-LRU capacity: how many graph versions stay cached",
+    )
+    search_parser.add_argument(
+        "--delta-threshold",
+        type=float,
+        default=DEFAULT_DELTA_THRESHOLD,
+        help=(
+            "engine rebuild policy: patch cached snapshots while the accumulated "
+            "delta is at most this fraction of the snapshot's edges (0 = always "
+            "rebuild from scratch)"
+        ),
+    )
+    search_parser.add_argument(
+        "--mutate-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "mixed workload: apply one edge mutation every N queries of the "
+            "--repeat loop (alternating removals and re-insertions; requires "
+            "--engine)"
+        ),
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper's tables/figures on the synthetic datasets"
@@ -92,10 +127,36 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_search(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         raise SystemExit("--repeat must be >= 1")
+    if args.mutate_every < 0:
+        raise SystemExit("--mutate-every must be >= 0")
+    if args.mutate_every and not args.engine:
+        raise SystemExit("--mutate-every requires --engine (mutations go through the delta log)")
+    if args.cache_size < 1:
+        raise SystemExit("--cache-size must be >= 1")
+    if args.delta_threshold < 0:
+        raise SystemExit("--delta-threshold must be >= 0")
     graph = read_edge_list(args.graph)
-    target = CTCEngine(graph, copy=False) if args.engine else graph
+    if args.engine:
+        target = CTCEngine(
+            graph,
+            copy=False,
+            cache_size=args.cache_size,
+            delta_threshold=args.delta_threshold,
+        )
+    else:
+        target = graph
+    mutator = None
+    if args.mutate_every:
+        mutator = EdgeChurn(target, seed=0, protect=args.query)
+        if not mutator.mutable_edges:
+            raise SystemExit(
+                "--mutate-every has nothing to mutate: every edge is incident to a "
+                "query node"
+            )
     started = time.perf_counter()
-    for _ in range(args.repeat):
+    for iteration in range(args.repeat):
+        if mutator is not None and iteration and iteration % args.mutate_every == 0:
+            mutator.step()
         result = search(target, args.query, method=args.method, eta=args.eta, gamma=args.gamma)
     elapsed = time.perf_counter() - started
     print(f"method:        {result.method}")
@@ -112,7 +173,10 @@ def _run_search(args: argparse.Namespace) -> int:
         print(f"throughput:    {args.repeat / elapsed:.1f} queries/sec ({args.repeat} runs)")
     if args.engine:
         stats = target.stats
-        print(f"engine cache:  {stats.hits} hits, {stats.misses} misses")
+        print(
+            f"engine cache:  {stats.hits} hits, {stats.misses} misses "
+            f"({stats.delta_applies} delta applies, {stats.full_rebuilds} full rebuilds)"
+        )
     return 0
 
 

@@ -34,7 +34,7 @@ from repro.trusses.index import TrussIndex
 if TYPE_CHECKING:
     from repro.engine import CTCEngine
 
-__all__ = ["search", "available_methods", "build_index"]
+__all__ = ["search", "available_methods", "build_index", "build_engine"]
 
 _CTC_METHODS = ("basic", "bulk-delete", "lctc", "truss")
 _BASELINE_METHODS = ("mdc", "qdc")
@@ -52,6 +52,32 @@ def build_index(graph: UndirectedGraph) -> TrussIndex:
     pay the decomposition cost once, exactly as the paper assumes.
     """
     return TrussIndex(graph)
+
+
+def build_engine(
+    graph: UndirectedGraph | None = None,
+    *,
+    cache_size: int | None = None,
+    delta_threshold: float | None = None,
+    copy: bool = True,
+) -> "CTCEngine":
+    """Build (and return) a :class:`~repro.engine.CTCEngine` over ``graph``.
+
+    The engine is the right entry point for *mixed* workloads: reads are
+    served from cached CSR/TrussIndex snapshots, and mutations issued
+    through the engine propagate to those snapshots as structured
+    :class:`~repro.graph.delta.GraphDelta` batches (patched in place while
+    small, rebuilt from scratch past ``delta_threshold``).  ``None`` keeps
+    an engine default; see :class:`~repro.engine.CTCEngine` for the knobs.
+    """
+    from repro.engine import CTCEngine
+
+    kwargs: dict = {"copy": copy}
+    if cache_size is not None:
+        kwargs["cache_size"] = cache_size
+    if delta_threshold is not None:
+        kwargs["delta_threshold"] = delta_threshold
+    return CTCEngine(graph, **kwargs)
 
 
 def search(

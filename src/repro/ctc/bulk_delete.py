@@ -26,9 +26,8 @@ Paper cross-references
 
 Vertex deletions are applied through
 :class:`~repro.trusses.maintenance.KTrussMaintainer` (Algorithm 3), whose
-per-edge support table is keyed by
-:func:`~repro.graph.simple_graph.edge_key` — see that docstring's
-mixed-type ordering caveat before indexing it directly.
+per-edge support table is keyed by :func:`repro.graph.keys.edge_key` (see
+that module for the key contract).
 """
 
 from __future__ import annotations

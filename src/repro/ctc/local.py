@@ -33,8 +33,7 @@ Paper cross-references
   ``benchmarks/bench_fig16_vary_gamma.py``).
 
 Step 3's local re-decomposition consumes per-edge trussness dicts keyed by
-:func:`~repro.graph.simple_graph.edge_key`; see that docstring's mixed-type
-ordering caveat before indexing them directly.
+:func:`repro.graph.keys.edge_key` (see that module for the key contract).
 """
 
 from __future__ import annotations

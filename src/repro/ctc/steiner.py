@@ -31,7 +31,8 @@ from collections.abc import Hashable, Sequence
 
 from repro.exceptions import QueryError
 from repro.graph.components import UnionFind
-from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.keys import edge_key
+from repro.graph.simple_graph import UndirectedGraph
 from repro.trusses.index import TrussIndex
 
 __all__ = [

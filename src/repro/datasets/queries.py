@@ -12,12 +12,19 @@ The experiments vary three query-set parameters:
 For the ground-truth quality experiment (Figure 12) query sets are drawn from
 inside a single ground-truth community, with query nodes that belong to
 exactly one community.
+
+:class:`EdgeChurn` generates the *write* half of mixed read/write workloads:
+a deterministic stream of single-edge mutations against a
+:class:`~repro.engine.CTCEngine`-like store, shared by the CLI's
+``--mutate-every`` mode and ``benchmarks/bench_mixed_workload.py``.
 """
 
 from __future__ import annotations
 
 import random
-from collections.abc import Hashable, Sequence
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Protocol
 
 from repro.datasets.synthetic import SyntheticNetwork
 from repro.exceptions import ConfigurationError
@@ -26,11 +33,82 @@ from repro.graph.traversal import bfs_distances
 
 __all__ = [
     "QueryWorkloadGenerator",
+    "EdgeChurn",
     "random_query_sets",
     "degree_rank_query_sets",
     "inter_distance_query_sets",
     "ground_truth_query_sets",
 ]
+
+
+class _MutableGraphStore(Protocol):
+    """What :class:`EdgeChurn` needs from its target (a ``CTCEngine`` fits)."""
+
+    @property
+    def graph(self) -> UndirectedGraph: ...
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None: ...
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None: ...
+
+
+class EdgeChurn:
+    """Deterministic, non-cancelling single-edge churn for mixed workloads.
+
+    Each :meth:`step` applies exactly one mutation to the target store:
+    mostly removals of randomly chosen present edges, interleaved with
+    re-insertion of the oldest previously removed edge once a few removals
+    have accumulated.  Consecutive deltas therefore never cancel to a
+    no-op, the graph drifts without shrinking away, and a fixed ``seed``
+    replays the identical stream — so two engines under comparison see the
+    same mutations.
+
+    Edges incident to ``protect``-ed nodes (typically the query nodes) are
+    never touched, keeping every query answerable.
+    """
+
+    #: How many removals accumulate before re-insertions join the mix.
+    REINSERT_BACKLOG = 4
+
+    def __init__(
+        self,
+        engine: _MutableGraphStore,
+        *,
+        seed: int = 0,
+        protect: Iterable[Hashable] = (),
+    ) -> None:
+        self._engine = engine
+        self._rng = random.Random(seed)
+        self._removed: deque[tuple[Hashable, Hashable]] = deque()
+        protected = set(protect)
+        self._edges = [
+            edge
+            for edge in sorted(engine.graph.edges(), key=repr)
+            if not (edge[0] in protected or edge[1] in protected)
+        ]
+
+    @property
+    def mutable_edges(self) -> int:
+        """How many edges the churn may touch (0 = :meth:`step` is a no-op)."""
+        return len(self._edges)
+
+    def step(self) -> bool:
+        """Apply one mutation; return ``False`` if no mutation was possible."""
+        if len(self._removed) >= self.REINSERT_BACKLOG and self._rng.random() < 0.5:
+            self._engine.add_edge(*self._removed.popleft())
+            return True
+        for _ in range(len(self._edges)):
+            edge = self._edges[self._rng.randrange(len(self._edges))]
+            if self._engine.graph.has_edge(*edge):
+                self._engine.remove_edge(*edge)
+                self._removed.append(edge)
+                return True
+        # Sampling found no present edge (pool mostly removed): re-insert if
+        # anything is pending, otherwise report that the churn is exhausted.
+        if self._removed:
+            self._engine.add_edge(*self._removed.popleft())
+            return True
+        return False
 
 
 class QueryWorkloadGenerator:

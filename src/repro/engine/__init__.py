@@ -1,10 +1,26 @@
 """Read-optimized query engine: mutable store + cached CSR/index snapshots.
 
-See :mod:`repro.engine.core` for the design discussion and
-``docs/ARCHITECTURE.md`` for the layer diagram and the caching/invalidation
+Mutations propagate to the cached read replicas through structured
+:class:`~repro.graph.delta.GraphDelta` batches and an incremental rebuild
+policy; see :mod:`repro.engine.core` for the design discussion and
+``docs/ARCHITECTURE.md`` for the layer diagram and the caching/rebuild
 contract.
 """
 
-from repro.engine.core import CTCEngine, EngineSnapshot, EngineStats
+from repro.engine.core import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_DELTA_LOG_LIMIT,
+    DEFAULT_DELTA_THRESHOLD,
+    CTCEngine,
+    EngineSnapshot,
+    EngineStats,
+)
 
-__all__ = ["CTCEngine", "EngineSnapshot", "EngineStats"]
+__all__ = [
+    "CTCEngine",
+    "EngineSnapshot",
+    "EngineStats",
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_DELTA_THRESHOLD",
+    "DEFAULT_DELTA_LOG_LIMIT",
+]

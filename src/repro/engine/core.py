@@ -14,19 +14,46 @@ every analytical query is served from a **frozen snapshot** of that store —
 a :class:`~repro.graph.csr.CSRGraph` plus a :class:`TrussIndex` whose
 decomposition ran on the CSR fast path.
 
+Delta propagation / rebuild policy
+----------------------------------
+The paper's system is dynamic (Section 4.2 maintains trusses under
+deletions; reference [20] under insertions), so mutations must not throw
+the read replica away.  Every effective mutation both bumps the store
+**version** and appends a structured
+:class:`~repro.graph.delta.GraphDelta` to a bounded **delta log**.  On a
+snapshot miss the engine picks between two build paths:
+
+* **delta apply** — if a cached snapshot plus a contiguous, fully-retained
+  run of log entries reaches the current version, and the composed delta is
+  small relative to that snapshot (``delta.size() <= delta_threshold *
+  edges``), the new snapshot is produced by patching: the frozen store copy
+  is edited in place, :meth:`CSRGraph.apply_delta` rewrites only touched
+  adjacency rows, incremental truss maintenance
+  (:mod:`repro.trusses.incremental`) re-evaluates only the affected edges,
+  and :meth:`TrussIndex.patched` rebuilds only touched index entries.
+* **full rebuild** — otherwise (cold cache, log truncation, or a delta too
+  large for patching to win), the classic freeze + CSR decomposition runs.
+
+Both paths produce identical snapshots — the property suite
+(``tests/trusses/test_delta_equivalence.py``) enforces bit-for-bit
+equality — so the policy is purely a performance decision, exposed through
+the ``delta_threshold`` / ``delta_log_limit`` / ``cache_size`` knobs (CLI:
+``--delta-threshold`` / ``--cache-size``).
+
 Caching / invalidation contract
 -------------------------------
 * The store carries a monotonically increasing **version**; every mutation
   that actually changes the graph bumps it (no-ops such as re-adding an
-  existing edge do not).
+  existing edge do not) and logs its delta.
 * Snapshots are memoized in an LRU keyed by version, so a burst of queries
   against an unchanging graph builds exactly one snapshot, and an
   alternating read/write workload can still hit older cached versions while
   a handle to them is useful.
 * Mutations routed through a :class:`KTrussMaintainer` obtained from
-  :meth:`CTCEngine.maintainer` invalidate the cache through the
-  maintainer's mutation hooks: any cascade that removes something bumps the
-  version.
+  :meth:`CTCEngine.maintainer` enter the pipeline through the maintainer's
+  mutation hooks, which deliver the cascade's ``GraphDelta``; hook dispatch
+  is exception-safe, so the version bump and log append happen even if
+  another hook raises mid-batch.
 * A snapshot, once built, is immutable: it holds a private frozen copy of
   the store, so in-flight results never see later mutations.
 """
@@ -36,13 +63,17 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from collections.abc import Hashable, Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.ctc.result import CommunityResult
 from repro.exceptions import StaleMaintainerError
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta
 from repro.graph.simple_graph import UndirectedGraph
-from repro.trusses.decomposition import truss_decomposition
+from repro.trusses.csr_decomposition import csr_truss_decomposition
+from repro.trusses.incremental import incremental_truss_update
 from repro.trusses.index import TrussIndex
 from repro.trusses.maintenance import KTrussMaintainer
 
@@ -50,6 +81,13 @@ __all__ = ["CTCEngine", "EngineSnapshot", "EngineStats"]
 
 #: Default number of graph versions whose snapshots stay cached.
 DEFAULT_CACHE_SIZE = 4
+
+#: Default rebuild-policy threshold: delta-apply while the composed delta's
+#: size is at most this fraction of the base snapshot's edge count.
+DEFAULT_DELTA_THRESHOLD = 0.25
+
+#: Default number of per-mutation deltas retained in the log.
+DEFAULT_DELTA_LOG_LIMIT = 128
 
 
 @dataclass(frozen=True)
@@ -67,22 +105,32 @@ class EngineSnapshot:
     index:
         A :class:`TrussIndex` over ``graph``, built from the CSR-path
         decomposition.
+    trussness:
+        The per-edge-id trussness array over ``csr`` — the raw form the
+        incremental maintenance of the *next* delta apply consumes.
     """
 
     version: int
     graph: UndirectedGraph
     csr: CSRGraph
     index: TrussIndex
+    trussness: np.ndarray
 
 
 @dataclass
 class EngineStats:
-    """Cache and build counters (cumulative over the engine's lifetime)."""
+    """Cache and build counters (cumulative over the engine's lifetime).
+
+    ``misses == delta_applies + full_rebuilds``: every miss is served by
+    exactly one of the two build paths.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    delta_applies: int = 0
+    full_rebuilds: int = 0
     build_seconds: float = field(default=0.0)
 
     def as_dict(self) -> dict[str, float]:
@@ -92,6 +140,8 @@ class EngineStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "delta_applies": self.delta_applies,
+            "full_rebuilds": self.full_rebuilds,
             "build_seconds": self.build_seconds,
         }
 
@@ -110,6 +160,14 @@ class CTCEngine:
         (``>= 1``).
     copy:
         Whether to copy ``graph`` on construction.
+    delta_threshold:
+        Rebuild-policy knob: delta-apply while the composed delta's size is
+        at most this fraction of the base snapshot's edge count
+        (``math.inf`` = always prefer delta apply, ``0`` = always rebuild
+        from scratch).
+    delta_log_limit:
+        How many per-mutation deltas the log retains (``0`` disables the
+        log and with it the delta path).
 
     Examples
     --------
@@ -117,11 +175,10 @@ class CTCEngine:
     >>> engine = CTCEngine(complete_graph(5))
     >>> engine.query([0, 1]).trussness
     5
-    >>> engine.stats.misses, engine.stats.hits
-    (1, 0)
-    >>> _ = engine.query([1, 2])          # same version: snapshot reused
-    >>> engine.stats.misses, engine.stats.hits
-    (1, 1)
+    >>> engine.add_edge(0, 5)                 # logged as a GraphDelta
+    >>> _ = engine.snapshot()                 # patched, not rebuilt
+    >>> engine.stats.delta_applies
+    1
     """
 
     def __init__(
@@ -130,16 +187,26 @@ class CTCEngine:
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         copy: bool = True,
+        delta_threshold: float = DEFAULT_DELTA_THRESHOLD,
+        delta_log_limit: int = DEFAULT_DELTA_LOG_LIMIT,
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if delta_threshold < 0:
+            raise ValueError(f"delta_threshold must be >= 0, got {delta_threshold}")
+        if delta_log_limit < 0:
+            raise ValueError(f"delta_log_limit must be >= 0, got {delta_log_limit}")
         if graph is None:
             self._graph = UndirectedGraph()
         else:
             self._graph = graph.copy() if copy else graph
         self._version = 0
         self._cache_size = cache_size
+        self._delta_threshold = delta_threshold
+        self._delta_log_limit = delta_log_limit
         self._cache: OrderedDict[int, EngineSnapshot] = OrderedDict()
+        #: version -> delta that produced it (contiguous, bounded window).
+        self._delta_log: OrderedDict[int, GraphDelta] = OrderedDict()
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -160,35 +227,58 @@ class CTCEngine:
         """The current store version (bumped by every effective mutation)."""
         return self._version
 
-    def _bump(self) -> None:
+    @property
+    def delta_threshold(self) -> float:
+        """The rebuild-policy threshold (see the class docstring)."""
+        return self._delta_threshold
+
+    @property
+    def cache_size(self) -> int:
+        """How many snapshot versions the LRU retains."""
+        return self._cache_size
+
+    def _record(self, delta: GraphDelta) -> None:
+        """Log one effective mutation: bump the version and append its delta."""
+        if delta.is_empty():
+            return
         self._version += 1
         self.stats.invalidations += 1
+        if self._delta_log_limit:
+            self._delta_log[self._version] = delta
+            while len(self._delta_log) > self._delta_log_limit:
+                self._delta_log.popitem(last=False)
 
     # ------------------------------------------------------------------
-    # mutations (every effective one bumps the version)
+    # mutations (every effective one bumps the version and logs a delta)
     # ------------------------------------------------------------------
     def add_edge(self, u: Hashable, v: Hashable) -> None:
         """Add edge ``(u, v)`` to the store; a no-op if already present."""
-        if not self._graph.has_edge(u, v):
-            self._graph.add_edge(u, v)
-            self._bump()
+        if self._graph.has_edge(u, v):
+            return
+        added_nodes = [node for node in (u, v) if not self._graph.has_node(node)]
+        self._graph.add_edge(u, v)
+        self._record(GraphDelta(added_nodes=added_nodes, added_edges=[(u, v)]))
 
     def add_edges_from(self, edges: Iterable[tuple[Hashable, Hashable]]) -> None:
         """Add every edge in ``edges``; bumps the version once if anything changed.
 
-        The bump happens even if the iterable fails part-way (bad tuple,
-        self-loop): edges added before the failure are in the store, so the
-        cache must not keep serving the pre-mutation snapshot.
+        The bump (and the logged delta covering everything added so far)
+        happens even if the iterable fails part-way (bad tuple, self-loop):
+        edges added before the failure are in the store, so the cache must
+        not keep serving the pre-mutation snapshot.
         """
-        changed = False
+        added_nodes: set[Hashable] = set()
+        added_edges: list[tuple[Hashable, Hashable]] = []
         try:
             for u, v in edges:
-                if not self._graph.has_edge(u, v):
-                    self._graph.add_edge(u, v)
-                    changed = True
+                if self._graph.has_edge(u, v):
+                    continue
+                fresh = [node for node in (u, v) if not self._graph.has_node(node)]
+                self._graph.add_edge(u, v)
+                added_nodes.update(fresh)
+                added_edges.append((u, v))
         finally:
-            if changed:
-                self._bump()
+            self._record(GraphDelta(added_nodes=added_nodes, added_edges=added_edges))
 
     def remove_edge(self, u: Hashable, v: Hashable) -> None:
         """Remove edge ``(u, v)`` from the store.
@@ -199,13 +289,14 @@ class CTCEngine:
             If the edge is not present.
         """
         self._graph.remove_edge(u, v)
-        self._bump()
+        self._record(GraphDelta(removed_edges=[(u, v)]))
 
     def add_node(self, node: Hashable) -> None:
         """Add ``node`` to the store; a no-op if already present."""
-        if not self._graph.has_node(node):
-            self._graph.add_node(node)
-            self._bump()
+        if self._graph.has_node(node):
+            return
+        self._graph.add_node(node)
+        self._record(GraphDelta(added_nodes=[node]))
 
     def remove_node(self, node: Hashable) -> None:
         """Remove ``node`` and its incident edges from the store.
@@ -215,8 +306,14 @@ class CTCEngine:
         NodeNotFoundError
             If ``node`` is not in the store.
         """
+        neighbors = list(self._graph.neighbors(node))  # raises NodeNotFoundError
         self._graph.remove_node(node)
-        self._bump()
+        self._record(
+            GraphDelta(
+                removed_nodes=[node],
+                removed_edges=[(node, other) for other in neighbors],
+            )
+        )
 
     # ------------------------------------------------------------------
     # maintenance integration (Algorithm 3 hooks)
@@ -225,7 +322,7 @@ class CTCEngine:
         """Return a :class:`KTrussMaintainer` bound **in place** to the store.
 
         Deletion cascades run through the returned maintainer mutate the
-        store directly and invalidate cached snapshots via the maintainer's
+        store directly and feed the engine's delta log via the maintainer's
         mutation hooks — this is the supported way to apply Algorithm 3
         deletions to an engine-owned graph.
 
@@ -253,10 +350,9 @@ class CTCEngine:
     def snapshot(self) -> EngineSnapshot:
         """Return the snapshot for the current version, building it on a miss.
 
-        The build freezes the store, converts it to CSR, runs the array-path
-        truss decomposition, and assembles a :class:`TrussIndex` from the
-        precomputed trussness (so the index build skips its own
-        decomposition).
+        A miss is served by the cheapest eligible path — delta apply from
+        the newest cached snapshot the log can reach, or a full rebuild
+        (see the module docstring's rebuild policy).
         """
         version = self._version
         cached = self._cache.get(version)
@@ -267,12 +363,13 @@ class CTCEngine:
 
         self.stats.misses += 1
         started = time.perf_counter()
-        frozen = self._graph.copy()
-        csr = CSRGraph.from_graph(frozen)
-        # Dispatches to the CSR array path and returns the edge-key dict.
-        edge_trussness = truss_decomposition(csr)
-        index = TrussIndex(frozen, edge_trussness=edge_trussness)
-        built = EngineSnapshot(version=version, graph=frozen, csr=csr, index=index)
+        base = self._delta_base(version)
+        if base is not None:
+            built = self._build_from_delta(*base, version)
+            self.stats.delta_applies += 1
+        else:
+            built = self._build_full(version)
+            self.stats.full_rebuilds += 1
         self.stats.build_seconds += time.perf_counter() - started
 
         self._cache[version] = built
@@ -281,9 +378,98 @@ class CTCEngine:
             self.stats.evictions += 1
         return built
 
+    def _delta_base(self, version: int) -> tuple[EngineSnapshot, GraphDelta] | None:
+        """Return the newest cached snapshot the policy allows patching from.
+
+        ``None`` means full rebuild: the cache is cold, the log no longer
+        covers the gap, or the composed delta is too large relative to the
+        base snapshot for patching to win.
+        """
+        if self._delta_threshold <= 0 or not self._delta_log_limit:
+            return None
+        for base_version in sorted(self._cache, reverse=True):
+            if base_version >= version:
+                continue
+            deltas = []
+            for step in range(base_version + 1, version + 1):
+                delta = self._delta_log.get(step)
+                if delta is None:
+                    # The log window no longer reaches this base; older
+                    # bases need strictly more entries, so stop looking.
+                    return None
+                deltas.append(delta)
+            composed = GraphDelta.chain(deltas)
+            base = self._cache[base_version]
+            budget = self._delta_threshold * max(1, base.csr.number_of_edges())
+            if composed.size() <= budget:
+                return base, composed
+            # Too large from this base; an older base composes strictly more
+            # mutations, but cancellation (remove + re-add) can still shrink
+            # the net delta, so keep looking.
+        return None
+
+    def _build_full(self, version: int) -> EngineSnapshot:
+        """Freeze the store and index it from scratch (the seed path)."""
+        frozen = self._graph.copy()
+        csr = CSRGraph.from_graph(frozen)
+        trussness = csr_truss_decomposition(csr)
+        edge_trussness = {
+            csr.edge_key_of(edge): int(trussness[edge])
+            for edge in range(csr.number_of_edges())
+        }
+        index = TrussIndex(frozen, edge_trussness=edge_trussness)
+        return EngineSnapshot(
+            version=version, graph=frozen, csr=csr, index=index, trussness=trussness
+        )
+
+    def _build_from_delta(
+        self, base: EngineSnapshot, delta: GraphDelta, version: int
+    ) -> EngineSnapshot:
+        """Patch ``base`` with ``delta``: the incremental leg of the pipeline."""
+        if delta.is_empty():
+            # Mutations cancelled out (e.g. an edge removed and re-added):
+            # the base snapshot's content is exactly current.
+            return replace(base, version=version)
+
+        frozen = base.graph.copy()
+        for node in delta.added_nodes:
+            frozen.add_node(node)
+        for u, v in delta.added_edges:
+            frozen.add_edge(u, v)
+        for u, v in delta.removed_edges:
+            frozen.remove_edge(u, v)
+        for node in delta.removed_nodes:
+            frozen.remove_node(node)
+
+        patch = base.csr.apply_delta(delta)
+        trussness, changed = incremental_truss_update(base.csr, base.trussness, patch)
+        csr = patch.csr
+
+        trussness_updates: dict = {}
+        touched_nodes = delta.touched_labels() - delta.removed_nodes
+        for edge in changed.tolist():
+            trussness_updates[csr.edge_key_of(edge)] = int(trussness[edge])
+            u, v = csr.edge_endpoint_ids(edge)
+            touched_nodes.add(csr.node_label(u))
+            touched_nodes.add(csr.node_label(v))
+        index = base.index.patched(
+            frozen,
+            trussness_updates=trussness_updates,
+            dropped_edges=delta.removed_edges,
+            dropped_nodes=delta.removed_nodes,
+            touched_nodes=touched_nodes,
+        )
+        return EngineSnapshot(
+            version=version, graph=frozen, csr=csr, index=index, trussness=trussness
+        )
+
     def cached_versions(self) -> list[int]:
         """Return the versions currently cached, oldest first."""
         return list(self._cache)
+
+    def logged_versions(self) -> list[int]:
+        """Return the versions currently covered by the delta log, oldest first."""
+        return list(self._delta_log)
 
     def clear_cache(self) -> None:
         """Drop every cached snapshot (they are rebuilt on demand)."""
@@ -337,10 +523,11 @@ class CTCEngine:
 class _EngineMaintainer(KTrussMaintainer):
     """A :class:`KTrussMaintainer` bound to an engine's live store.
 
-    Adds two behaviours over the base class: every effective cascade bumps
-    the engine version (cache invalidation), and cascades refuse to run if
-    the store was mutated through any other channel since this maintainer
-    was created (its support table would be stale — see
+    Adds two behaviours over the base class: every effective cascade feeds
+    its :class:`GraphDelta` into the engine's log (version bump + cache
+    invalidation), and cascades refuse to run if the store was mutated
+    through any other channel since this maintainer was created (its
+    support table would be stale — see
     :class:`~repro.exceptions.StaleMaintainerError`).
     """
 
@@ -350,8 +537,8 @@ class _EngineMaintainer(KTrussMaintainer):
         self._expected_version = engine.version
         self.register_mutation_hook(self._on_cascade)
 
-    def _on_cascade(self, removed_vertices: set, removed_edges: set) -> None:
-        self._engine._bump()
+    def _on_cascade(self, delta: GraphDelta) -> None:
+        self._engine._record(delta)
         self._expected_version = self._engine.version
 
     def delete_vertices(self, vertices: Iterable[Hashable]) -> tuple[set, set]:

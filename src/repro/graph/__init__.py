@@ -21,7 +21,9 @@ from repro.graph.properties import (
     graph_summary,
 )
 from repro.graph.csr import CSRGraph
-from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.delta import GraphDelta
+from repro.graph.keys import EdgeKey, edge_key
+from repro.graph.simple_graph import UndirectedGraph
 from repro.graph.traversal import (
     bfs_distances,
     bfs_layers,
@@ -44,6 +46,8 @@ from repro.graph.views import DeletionView, filter_edges_by, induced_subgraph
 __all__ = [
     "UndirectedGraph",
     "CSRGraph",
+    "GraphDelta",
+    "EdgeKey",
     "edge_key",
     "UnionFind",
     "connected_components",

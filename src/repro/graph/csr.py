@@ -33,15 +33,57 @@ The array-based truss routines that consume this layout live in
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
-from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.delta import GraphDelta
+from repro.graph.keys import EdgeKey, edge_key
+from repro.graph.simple_graph import UndirectedGraph
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "CSRPatch"]
 
-EdgeKey = tuple[Hashable, Hashable]
+
+@dataclass(frozen=True)
+class CSRPatch:
+    """The result of :meth:`CSRGraph.apply_delta`.
+
+    Besides the patched snapshot itself, it carries the edge-id
+    correspondence that incremental truss maintenance
+    (:mod:`repro.trusses.incremental`) needs to transplant per-edge
+    attributes between the two snapshots: edge ids are dense and assigned in
+    row-major order, so any structural change renumbers them globally even
+    though only a few adjacency rows were touched.
+
+    Attributes
+    ----------
+    csr:
+        The new snapshot (bit-for-bit identical to freezing the mutated
+        graph from scratch).
+    edge_origin:
+        ``int64`` array of length ``csr.number_of_edges()``; entry ``e`` is
+        the old edge id that new edge ``e`` carried over from, or ``-1`` if
+        the edge was added by the delta.
+    removed_edge_ids:
+        ``int64`` array of the old edge ids the delta removed.
+    node_remap:
+        ``int64`` array mapping old node ids to new node ids (``-1`` for
+        removed nodes), or ``None`` when the node set did not change (the
+        identity mapping).
+    """
+
+    csr: "CSRGraph"
+    edge_origin: np.ndarray
+    removed_edge_ids: np.ndarray
+    node_remap: np.ndarray | None
+
+    def new_ids_of_old(self, old_edge_count: int) -> np.ndarray:
+        """Return the inverse mapping: old edge id -> new edge id or ``-1``."""
+        inverse = np.full(old_edge_count, -1, dtype=np.int64)
+        carried = self.edge_origin >= 0
+        inverse[self.edge_origin[carried]] = np.nonzero(carried)[0]
+        return inverse
 
 
 class CSRGraph:
@@ -161,6 +203,264 @@ class CSRGraph:
         for e in range(self.number_of_edges()):
             graph.add_edge(self._labels[int(self.edge_u[e])], self._labels[int(self.edge_v[e])])
         return graph
+
+    # ------------------------------------------------------------------
+    # delta application
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta) -> CSRPatch:
+        """Return a new snapshot with ``delta`` applied, patching touched rows only.
+
+        The result is bit-for-bit identical to ``CSRGraph.from_graph`` of
+        the mutated graph (same label order, same arrays), but is built by
+        editing only the adjacency rows the delta touches: untouched rows
+        are bulk-copied, and the global edge-id reassignment runs as one
+        vectorized ``lexsort`` pass instead of a per-slot Python loop.
+
+        ``delta`` must be normalized against this snapshot (see
+        :mod:`repro.graph.delta`); violations raise
+        :class:`~repro.exceptions.GraphError` or the usual not-found errors.
+        """
+        num_old_nodes = self.number_of_nodes()
+        num_old_edges = self.number_of_edges()
+        if delta.is_empty():
+            return CSRPatch(
+                csr=self,
+                edge_origin=np.arange(num_old_edges, dtype=np.int64),
+                removed_edge_ids=np.zeros(0, dtype=np.int64),
+                node_remap=None,
+            )
+
+        removed_nodes = delta.removed_nodes
+        added_nodes = delta.added_nodes
+        for label in removed_nodes:
+            if label not in self._ids:
+                raise NodeNotFoundError(label)
+        for label in added_nodes:
+            if label in self._ids:
+                raise GraphError(f"delta adds node {label!r} which is already present")
+
+        # --- label ordering and node remap -----------------------------
+        if removed_nodes or added_nodes:
+            universe = [label for label in self._labels if label not in removed_nodes]
+            universe.extend(added_nodes)
+            try:
+                new_labels = sorted(universe)
+            except TypeError:
+                new_labels = sorted(universe, key=repr)
+            new_ids = {label: position for position, label in enumerate(new_labels)}
+            node_remap = np.full(num_old_nodes, -1, dtype=np.int64)
+            for position, label in enumerate(self._labels):
+                new_position = new_ids.get(label)
+                if new_position is not None:
+                    node_remap[position] = new_position
+        else:
+            new_labels = self._labels  # shared; snapshots never mutate it
+            new_ids = self._ids
+            node_remap = None
+        num_new_nodes = len(new_labels)
+
+        # --- resolve edge changes into id space ------------------------
+        removed_eids: list[int] = []
+        removed_per_node: dict[int, int] = {}
+        # (new_id -> neighbours to drop / insert), for rows of *kept* nodes.
+        drop_neighbors: dict[int, set[int]] = {}
+        insert_neighbors: dict[int, list[int]] = {}
+        degree_delta: dict[int, int] = {}
+
+        for a, b in delta.removed_edges:
+            old_u, old_v = self.node_id(a), self.node_id(b)
+            removed_eids.append(self.edge_id(old_u, old_v))
+            for endpoint in (old_u, old_v):
+                removed_per_node[endpoint] = removed_per_node.get(endpoint, 0) + 1
+            if node_remap is None:
+                new_u, new_v = old_u, old_v
+            else:
+                new_u, new_v = int(node_remap[old_u]), int(node_remap[old_v])
+            if new_u >= 0 and new_v >= 0:
+                drop_neighbors.setdefault(new_u, set()).add(new_v)
+                drop_neighbors.setdefault(new_v, set()).add(new_u)
+            for endpoint in (new_u, new_v):
+                if endpoint >= 0:
+                    degree_delta[endpoint] = degree_delta.get(endpoint, 0) - 1
+
+        # Every edge incident to a removed node must be listed explicitly.
+        for label in removed_nodes:
+            old_id = self._ids[label]
+            if removed_per_node.get(old_id, 0) != self.degree(old_id):
+                raise GraphError(
+                    f"delta removes node {label!r} but lists only "
+                    f"{removed_per_node.get(old_id, 0)} of its {self.degree(old_id)} "
+                    "incident edges"
+                )
+
+        for a, b in delta.added_edges:
+            if a in removed_nodes or b in removed_nodes:
+                raise GraphError(f"delta adds edge ({a!r}, {b!r}) incident to a removed node")
+            try:
+                new_u, new_v = new_ids[a], new_ids[b]
+            except KeyError as missing:
+                raise NodeNotFoundError(missing.args[0]) from None
+            if a in self._ids and b in self._ids and self.has_edge(self._ids[a], self._ids[b]):
+                raise GraphError(f"delta adds edge ({a!r}, {b!r}) which is already present")
+            insert_neighbors.setdefault(new_u, []).append(new_v)
+            insert_neighbors.setdefault(new_v, []).append(new_u)
+            for endpoint in (new_u, new_v):
+                degree_delta[endpoint] = degree_delta.get(endpoint, 0) + 1
+
+        # --- new degrees and indptr ------------------------------------
+        old_degrees = np.diff(self.indptr)
+        if node_remap is None:
+            new_degrees = old_degrees.copy()
+        else:
+            new_degrees = np.zeros(num_new_nodes, dtype=np.int64)
+            kept = node_remap >= 0
+            new_degrees[node_remap[kept]] = old_degrees[kept]
+        for node, change in degree_delta.items():
+            new_degrees[node] += change
+        new_indptr = np.zeros(num_new_nodes + 1, dtype=np.int64)
+        np.cumsum(new_degrees, out=new_indptr[1:])
+        total_slots = int(new_indptr[-1])
+        new_indices = np.empty(total_slots, dtype=np.int64)
+
+        # --- fill adjacency rows ---------------------------------------
+        if node_remap is None:
+            self._fill_rows_fast(new_indptr, new_indices, drop_neighbors, insert_neighbors)
+        else:
+            self._fill_rows_remapped(
+                node_remap, new_indptr, new_indices, drop_neighbors, insert_neighbors,
+                num_new_nodes,
+            )
+
+        # --- vectorized edge-id assignment (row-major (u, v), u < v) ---
+        row_of_slot = np.repeat(np.arange(num_new_nodes, dtype=np.int64), new_degrees)
+        low = np.minimum(row_of_slot, new_indices)
+        high = np.maximum(row_of_slot, new_indices)
+        order = np.lexsort((high, low))
+        if total_slots % 2:
+            raise GraphError("delta produced an asymmetric adjacency structure")
+        new_slot_edge = np.empty(total_slots, dtype=np.int64)
+        new_slot_edge[order] = np.arange(total_slots, dtype=np.int64) // 2
+        new_edge_u = np.ascontiguousarray(low[order][::2])
+        new_edge_v = np.ascontiguousarray(high[order][::2])
+        if not (
+            np.array_equal(new_edge_u, low[order][1::2])
+            and np.array_equal(new_edge_v, high[order][1::2])
+        ):
+            raise GraphError("delta produced an asymmetric adjacency structure")
+        num_new_edges = total_slots // 2
+
+        # --- old edge -> new edge correspondence -----------------------
+        removed_ids = np.asarray(sorted(removed_eids), dtype=np.int64)
+        survivor_mask = np.ones(num_old_edges, dtype=bool)
+        survivor_mask[removed_ids] = False
+        surviving = np.nonzero(survivor_mask)[0]
+        if node_remap is None:
+            surviving_u = self.edge_u[surviving]
+            surviving_v = self.edge_v[surviving]
+        else:
+            surviving_u = node_remap[self.edge_u[surviving]]
+            surviving_v = node_remap[self.edge_v[surviving]]
+        stride = num_new_nodes + 1
+        old_keys = (
+            np.minimum(surviving_u, surviving_v) * stride
+            + np.maximum(surviving_u, surviving_v)
+        )
+        new_keys = new_edge_u * stride + new_edge_v
+        positions = np.searchsorted(new_keys, old_keys)
+        if positions.size and not np.array_equal(new_keys[positions], old_keys):
+            raise GraphError("delta removed an edge implicitly (not listed in removed_edges)")
+        edge_origin = np.full(num_new_edges, -1, dtype=np.int64)
+        edge_origin[positions] = surviving
+
+        patched = CSRGraph(
+            indptr=new_indptr,
+            indices=new_indices,
+            slot_edge=new_slot_edge,
+            edge_u=new_edge_u,
+            edge_v=new_edge_v,
+            labels=new_labels,
+            ids=new_ids,
+        )
+        return CSRPatch(
+            csr=patched,
+            edge_origin=edge_origin,
+            removed_edge_ids=removed_ids,
+            node_remap=node_remap,
+        )
+
+    def _edited_row(
+        self,
+        row: np.ndarray,
+        dropped: set[int] | None,
+        inserted: list[int] | None,
+    ) -> np.ndarray:
+        """Return ``row`` (sorted ids) with ``dropped`` removed and ``inserted`` merged."""
+        if dropped:
+            row = row[~np.isin(row, np.fromiter(dropped, dtype=np.int64, count=len(dropped)))]
+        if inserted:
+            row = np.concatenate([row, np.asarray(inserted, dtype=np.int64)])
+            row.sort(kind="stable")
+        return row
+
+    def _fill_rows_fast(
+        self,
+        new_indptr: np.ndarray,
+        new_indices: np.ndarray,
+        drop_neighbors: dict[int, set[int]],
+        insert_neighbors: dict[int, list[int]],
+    ) -> None:
+        """Fill rows when the node set is unchanged: bulk-copy untouched gaps."""
+        touched = sorted(set(drop_neighbors) | set(insert_neighbors))
+        previous = 0
+        for node in touched:
+            # Rows [previous, node) are untouched: identical content, shifted offset.
+            old_start, old_stop = int(self.indptr[previous]), int(self.indptr[node])
+            new_start = int(new_indptr[previous])
+            new_indices[new_start:new_start + (old_stop - old_start)] = (
+                self.indices[old_start:old_stop]
+            )
+            row = self._edited_row(
+                self.indices[self.indptr[node]:self.indptr[node + 1]],
+                drop_neighbors.get(node),
+                insert_neighbors.get(node),
+            )
+            new_indices[new_indptr[node]:new_indptr[node + 1]] = row
+            previous = node + 1
+        old_start = int(self.indptr[previous])
+        new_start = int(new_indptr[previous])
+        new_indices[new_start:] = self.indices[old_start:]
+
+    def _fill_rows_remapped(
+        self,
+        node_remap: np.ndarray,
+        new_indptr: np.ndarray,
+        new_indices: np.ndarray,
+        drop_neighbors: dict[int, set[int]],
+        insert_neighbors: dict[int, list[int]],
+        num_new_nodes: int,
+    ) -> None:
+        """Fill rows when the node set changed: every kept row is id-remapped."""
+        remapped = node_remap[self.indices]
+        # The remap is monotonic whenever the old and new label orders agree
+        # on kept labels (always, except when adding a label flips the sort
+        # into its repr fallback); rows then stay sorted after remapping.
+        kept_ids = node_remap[node_remap >= 0]
+        monotonic = bool(np.all(np.diff(kept_ids) > 0)) if kept_ids.size > 1 else True
+        old_of_new = np.full(num_new_nodes, -1, dtype=np.int64)
+        old_of_new[kept_ids] = np.nonzero(node_remap >= 0)[0]
+        for node in range(num_new_nodes):
+            old_node = int(old_of_new[node])
+            if old_node >= 0:
+                row = remapped[self.indptr[old_node]:self.indptr[old_node + 1]]
+                row = row[row >= 0]  # neighbours that were removed nodes
+                if not monotonic:
+                    row = np.sort(row)
+                row = self._edited_row(
+                    row, drop_neighbors.get(node), insert_neighbors.get(node)
+                )
+            else:
+                row = np.asarray(sorted(insert_neighbors.get(node, [])), dtype=np.int64)
+            new_indices[new_indptr[node]:new_indptr[node + 1]] = row
 
     # ------------------------------------------------------------------
     # counts

@@ -1,0 +1,133 @@
+""":class:`GraphDelta`: a structured, composable batch of graph mutations.
+
+The delta-propagation pipeline (mutable store → CSR read replica → truss
+index) needs a precise record of *what changed* between two graph versions:
+an opaque "version bumped" signal forces a full snapshot rebuild, while a
+structured delta lets :meth:`repro.graph.csr.CSRGraph.apply_delta` patch
+only the touched adjacency rows and
+:func:`repro.trusses.incremental.incremental_truss_update` re-evaluate only
+the affected edges.
+
+A delta is **normalized against the graph it departs from**:
+
+* ``added_nodes`` / ``removed_nodes`` contain only nodes that are actually
+  absent / present in the base graph;
+* ``added_edges`` / ``removed_edges`` contain only edges actually absent /
+  present, as canonical :func:`~repro.graph.keys.edge_key` tuples;
+* ``removed_edges`` includes **every** edge incident to a removed node
+  (removing a node never leaves implicit edge removals);
+* every endpoint of an added edge is either a surviving base node or listed
+  in ``added_nodes``.
+
+Producers (the :class:`~repro.engine.CTCEngine` mutation methods and the
+:class:`~repro.trusses.maintenance.KTrussMaintainer` mutation hooks) emit
+normalized deltas; :meth:`GraphDelta.then` composes consecutive normalized
+deltas into one normalized delta, cancelling add/remove pairs, so a bounded
+log of per-mutation deltas can be collapsed before a single ``apply_delta``
+call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+from repro.graph.keys import EdgeKey, edge_key
+
+__all__ = ["GraphDelta"]
+
+
+def _canonical(edges: Iterable[tuple[Hashable, Hashable]]) -> frozenset[EdgeKey]:
+    return frozenset(edge_key(u, v) for u, v in edges)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """An immutable batch of node/edge additions and removals.
+
+    Examples
+    --------
+    >>> d1 = GraphDelta(added_edges=[(1, 2)])
+    >>> d2 = GraphDelta(removed_edges=[(2, 1)])
+    >>> d1.then(d2).is_empty()
+    True
+    """
+
+    added_nodes: frozenset[Hashable] = field(default_factory=frozenset)
+    removed_nodes: frozenset[Hashable] = field(default_factory=frozenset)
+    added_edges: frozenset[EdgeKey] = field(default_factory=frozenset)
+    removed_edges: frozenset[EdgeKey] = field(default_factory=frozenset)
+
+    def __init__(
+        self,
+        added_nodes: Iterable[Hashable] = (),
+        removed_nodes: Iterable[Hashable] = (),
+        added_edges: Iterable[tuple[Hashable, Hashable]] = (),
+        removed_edges: Iterable[tuple[Hashable, Hashable]] = (),
+    ) -> None:
+        object.__setattr__(self, "added_nodes", frozenset(added_nodes))
+        object.__setattr__(self, "removed_nodes", frozenset(removed_nodes))
+        object.__setattr__(self, "added_edges", _canonical(added_edges))
+        object.__setattr__(self, "removed_edges", _canonical(removed_edges))
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """Return ``True`` if the delta changes nothing."""
+        return not (
+            self.added_nodes or self.removed_nodes or self.added_edges or self.removed_edges
+        )
+
+    def size(self) -> int:
+        """Return the number of individual changes (the rebuild-policy metric)."""
+        return (
+            len(self.added_nodes)
+            + len(self.removed_nodes)
+            + len(self.added_edges)
+            + len(self.removed_edges)
+        )
+
+    def touched_labels(self) -> set[Hashable]:
+        """Return every node label mentioned by the delta (endpoints included)."""
+        touched = set(self.added_nodes) | set(self.removed_nodes)
+        for u, v in self.added_edges:
+            touched.add(u)
+            touched.add(v)
+        for u, v in self.removed_edges:
+            touched.add(u)
+            touched.add(v)
+        return touched
+
+    # ------------------------------------------------------------------
+    def then(self, later: "GraphDelta") -> "GraphDelta":
+        """Compose this delta with ``later`` (applied afterwards) into one delta.
+
+        Add/remove pairs cancel in both directions: an item added here and
+        removed in ``later`` (or vice versa) nets out entirely, because
+        normalization guarantees the first delta's removals were present in
+        the base graph and its additions were not.  The composition of
+        normalized deltas is therefore normalized against the same base.
+        """
+        return GraphDelta(
+            added_nodes=(self.added_nodes - later.removed_nodes)
+            | (later.added_nodes - self.removed_nodes),
+            removed_nodes=(self.removed_nodes - later.added_nodes)
+            | (later.removed_nodes - self.added_nodes),
+            added_edges=(self.added_edges - later.removed_edges)
+            | (later.added_edges - self.removed_edges),
+            removed_edges=(self.removed_edges - later.added_edges)
+            | (later.removed_edges - self.added_edges),
+        )
+
+    @staticmethod
+    def chain(deltas: Iterable["GraphDelta"]) -> "GraphDelta":
+        """Compose a sequence of deltas (oldest first) into one."""
+        combined = GraphDelta()
+        for delta in deltas:
+            combined = combined.then(delta)
+        return combined
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDelta(+{len(self.added_nodes)}n/-{len(self.removed_nodes)}n, "
+            f"+{len(self.added_edges)}e/-{len(self.removed_edges)}e)"
+        )

@@ -1,0 +1,52 @@
+"""Canonical per-edge dictionary keys: :func:`edge_key`.
+
+Every per-edge attribute in the library — supports
+(:mod:`repro.graph.triangles`), trussness
+(:mod:`repro.trusses.decomposition`), the support table of
+:class:`~repro.trusses.maintenance.KTrussMaintainer`, the edge hash of
+:class:`~repro.trusses.index.TrussIndex`, the edge sets of
+:class:`~repro.graph.delta.GraphDelta` — lives in a dict (or set) keyed by
+this one function.  This module is the single home of the key contract; the
+modules above reference it instead of restating it.
+
+.. warning:: **Mixed-type ordering caveat.**
+   The canonical form orders the endpoints by ``<`` when the comparison
+   succeeds and by ``repr`` string when it raises (mixed, non-comparable
+   node types).  Consumers of edge-keyed dicts must respect three
+   consequences:
+
+   1. Keys must be produced by calling :func:`edge_key` — never by
+      hand-ordering a tuple.  For mixed node types the canonical order is
+      *not* ``sorted()`` order: ``edge_key(2, "10")`` is ``("10", 2)``
+      because ``2 <= "10"`` raises and the ``repr`` fallback kicks in,
+      while a different pair of the same types may order the other way
+      round.
+   2. The per-pair order is deterministic, but there is no consistent
+      *global* total order across a mixed-type graph; do not assume the
+      first elements of all keys are mutually comparable (e.g. when
+      sorting a dict's keys, pass ``key=repr``).
+   3. Node labels that compare equal across types — ``1``, ``1.0`` and
+      ``True`` — hash equal too, so they collide both as graph nodes and
+      inside edge keys.  Use one label type per logical node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+__all__ = ["EdgeKey", "edge_key"]
+
+#: A canonical undirected-edge key as returned by :func:`edge_key`.
+EdgeKey = tuple[Hashable, Hashable]
+
+
+def edge_key(u: Hashable, v: Hashable) -> EdgeKey:
+    """Return the canonical (order-independent) key for edge ``(u, v)``.
+
+    Both endpoints of an undirected edge always map to the same tuple; see
+    the module docstring for the mixed-type ordering caveat.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)

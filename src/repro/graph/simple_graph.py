@@ -24,46 +24,11 @@ from collections.abc import Hashable, Iterable, Iterator, Mapping
 from typing import TypeVar
 
 from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.keys import edge_key
 
 Node = TypeVar("Node", bound=Hashable)
 
 __all__ = ["UndirectedGraph", "edge_key"]
-
-
-def edge_key(u: Hashable, v: Hashable) -> tuple[Hashable, Hashable]:
-    """Return the canonical (order-independent) key for edge ``(u, v)``.
-
-    The canonical form orders the endpoints by ``repr`` string when a direct
-    comparison fails (mixed, non-comparable node types), and by ``<`` when it
-    succeeds.  Both endpoints of an undirected edge therefore always map to
-    the same dictionary key.
-
-    .. warning:: **Mixed-type ordering caveat.**
-       Every per-edge dict in the library (supports in
-       :mod:`repro.graph.triangles`, trussness in
-       :mod:`repro.trusses.decomposition`, the support table of
-       :class:`~repro.trusses.maintenance.KTrussMaintainer`, the edge hash of
-       :class:`~repro.trusses.index.TrussIndex`) is keyed by this function,
-       and consumers of those dicts must respect three consequences:
-
-       1. Keys must be produced by calling ``edge_key`` — never by
-          hand-ordering a tuple.  For mixed node types the canonical order
-          is *not* ``sorted()`` order: ``edge_key(2, "10")`` is
-          ``("10", 2)`` because ``2 <= "10"`` raises and the ``repr``
-          fallback kicks in, while a different pair of the same types may
-          order the other way round.
-       2. The per-pair order is deterministic, but there is no consistent
-          *global* total order across a mixed-type graph; do not assume the
-          first elements of all keys are mutually comparable (e.g. when
-          sorting a dict's keys, pass ``key=repr``).
-       3. Node labels that compare equal across types — ``1``, ``1.0`` and
-          ``True`` — hash equal too, so they collide both as graph nodes
-          and inside edge keys.  Use one label type per logical node.
-    """
-    try:
-        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
-    except TypeError:
-        return (u, v) if repr(u) <= repr(v) else (v, u)
 
 
 class UndirectedGraph:

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterator
 
-from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.keys import edge_key
+from repro.graph.simple_graph import UndirectedGraph
 
 __all__ = [
     "edge_support",

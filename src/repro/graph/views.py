@@ -17,7 +17,8 @@ from __future__ import annotations
 from collections.abc import Callable, Hashable, Iterable, Iterator
 
 from repro.exceptions import NodeNotFoundError
-from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.keys import edge_key
+from repro.graph.simple_graph import UndirectedGraph
 
 __all__ = ["DeletionView", "induced_subgraph", "filter_edges_by"]
 

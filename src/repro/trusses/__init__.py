@@ -16,6 +16,7 @@ from repro.trusses.decomposition import (
     truss_decomposition,
     vertex_trussness,
 )
+from repro.trusses.incremental import incremental_truss_update
 from repro.trusses.extraction import (
     find_connected_truss_at_k,
     find_maximal_connected_truss,
@@ -34,6 +35,7 @@ __all__ = [
     "truss_decomposition",
     "csr_edge_supports",
     "csr_truss_decomposition",
+    "incremental_truss_update",
     "vertex_trussness",
     "graph_trussness",
     "max_trussness",

@@ -25,13 +25,8 @@ Two interchangeable execution paths exist:
 the same canonical-edge-key dict, so callers never need to care which path
 ran.
 
-.. note::
-   All per-edge dicts produced and consumed here are keyed by
-   :func:`~repro.graph.simple_graph.edge_key`.  See that function's
-   docstring for the mixed-type ordering caveat: keys must always be
-   produced through ``edge_key`` (never by hand-ordering tuples), and node
-   labels that compare equal across types (``1``, ``1.0``, ``True``)
-   collide as dict keys.
+All per-edge dicts produced and consumed here are keyed by
+:func:`repro.graph.keys.edge_key`; that module documents the key contract.
 """
 
 from __future__ import annotations
@@ -39,7 +34,8 @@ from __future__ import annotations
 from collections.abc import Hashable
 
 from repro.graph.csr import CSRGraph
-from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.keys import EdgeKey, edge_key
+from repro.graph.simple_graph import UndirectedGraph
 from repro.graph.triangles import all_edge_supports
 
 __all__ = [
@@ -50,8 +46,6 @@ __all__ = [
     "k_truss_subgraph",
     "maximal_k_truss_edges",
 ]
-
-EdgeKey = tuple[Hashable, Hashable]
 
 
 def truss_decomposition(graph: UndirectedGraph | CSRGraph) -> dict[EdgeKey, int]:

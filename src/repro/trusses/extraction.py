@@ -19,7 +19,7 @@ from collections import deque
 from collections.abc import Hashable, Sequence
 
 from repro.exceptions import NoCommunityFoundError, QueryError
-from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.simple_graph import UndirectedGraph
 from repro.graph.components import nodes_are_connected
 from repro.trusses.index import TrussIndex
 

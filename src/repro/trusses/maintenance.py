@@ -18,18 +18,19 @@ Section 4.4).
 Mutation hooks
 --------------
 Interested parties can observe every completed deletion cascade via
-:meth:`KTrussMaintainer.register_mutation_hook`.  This is how
-:class:`~repro.engine.CTCEngine` invalidates its cached read-optimized
-snapshots when the maintainer is driven directly against the engine's live
-store (``copy_graph=False``): any cascade that actually removes something
-bumps the engine's graph version.
+:meth:`KTrussMaintainer.register_mutation_hook`.  Hooks receive a
+structured :class:`~repro.graph.delta.GraphDelta` describing exactly which
+vertices and edges the cascade removed; this is how
+:class:`~repro.engine.CTCEngine` feeds maintainer-driven mutations into its
+delta log when the maintainer operates directly on the engine's live store
+(``copy_graph=False``).  Hook dispatch is atomic with respect to hook
+failures: every registered hook runs even if an earlier one raises (the
+first exception is re-raised afterwards), so an observer that bumps a
+version or appends to a log can never miss a cascade because another hook
+blew up first.
 
-.. note::
-   The ``_support`` table is keyed by
-   :func:`~repro.graph.simple_graph.edge_key`; see that function's
-   docstring for the mixed-type ordering caveat.  Lookups must always go
-   through ``edge_key`` — indexing with a hand-ordered ``(u, v)`` tuple
-   silently misses when the canonical order is ``(v, u)``.
+The ``_support`` table is keyed by :func:`repro.graph.keys.edge_key`; that
+module documents the key contract.
 """
 
 from __future__ import annotations
@@ -37,16 +38,16 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable, Hashable, Iterable
 
-from repro.graph.simple_graph import UndirectedGraph, edge_key
+from repro.graph.delta import GraphDelta
+from repro.graph.keys import EdgeKey, edge_key
+from repro.graph.simple_graph import UndirectedGraph
 from repro.graph.triangles import all_edge_supports
 
 __all__ = ["KTrussMaintainer", "restore_k_truss"]
 
-EdgeKey = tuple[Hashable, Hashable]
-
 #: Signature of a mutation hook: called after each completed deletion
-#: cascade with the sets of removed vertices and removed (canonical) edges.
-MutationHook = Callable[[set[Hashable], set[EdgeKey]], None]
+#: cascade with the :class:`GraphDelta` describing what was removed.
+MutationHook = Callable[[GraphDelta], None]
 
 
 class KTrussMaintainer:
@@ -95,11 +96,30 @@ class KTrussMaintainer:
     def register_mutation_hook(self, hook: MutationHook) -> None:
         """Register ``hook`` to run after every deletion cascade that removed something.
 
-        Hooks receive ``(removed_vertices, removed_edges)``; cascades that
+        Hooks receive the cascade's :class:`GraphDelta`; cascades that
         remove nothing (e.g. deleting vertices that are already gone) do not
-        fire them.
+        fire them.  All hooks run even if one raises (see the module
+        docstring).
         """
         self._hooks.append(hook)
+
+    def _dispatch(self, delta: GraphDelta) -> None:
+        """Run every hook on ``delta``; defer (and re-raise) the first failure.
+
+        The store mutation has already happened by the time hooks fire, so a
+        hook raising mid-batch must not prevent the remaining hooks from
+        observing the cascade — otherwise an engine hook could miss the
+        version bump and keep serving a half-applied graph from its cache.
+        """
+        failure: BaseException | None = None
+        for hook in self._hooks:
+            try:
+                hook(delta)
+            except BaseException as exc:  # noqa: BLE001 - deferred, not swallowed
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
 
     # ------------------------------------------------------------------
     def delete_vertices(self, vertices: Iterable[Hashable]) -> tuple[set[Hashable], set[EdgeKey]]:
@@ -153,8 +173,9 @@ class KTrussMaintainer:
                 self._graph.remove_node(vertex)
                 removed_vertices.add(vertex)
         if removed_vertices or removed_edges:
-            for hook in self._hooks:
-                hook(removed_vertices, removed_edges)
+            self._dispatch(
+                GraphDelta(removed_nodes=removed_vertices, removed_edges=removed_edges)
+            )
         return removed_vertices, removed_edges
 
     def delete_vertex(self, vertex: Hashable) -> tuple[set[Hashable], set[EdgeKey]]:

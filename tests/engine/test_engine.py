@@ -1,4 +1,4 @@
-"""Tests for the CTCEngine cache/invalidation contract."""
+"""Tests for the CTCEngine cache/invalidation and delta-propagation contracts."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ import pytest
 from repro.ctc.api import search
 from repro.engine import CTCEngine
 from repro.exceptions import EdgeNotFoundError, GraphError, StaleMaintainerError
+from repro.graph.delta import GraphDelta
 from repro.graph.generators import complete_graph, erdos_renyi_graph
 
 
@@ -137,6 +138,115 @@ class TestMaintainerHooks:
         # A fresh maintainer works again.
         engine.maintainer(4).delete_vertex(1)
         assert not engine.graph.has_node(1)
+
+
+class TestDeltaPipeline:
+    def test_mutation_snapshot_is_delta_applied(self, engine):
+        engine.snapshot()
+        engine.add_edge(990, 991)
+        engine.snapshot()
+        assert engine.stats.delta_applies == 1
+        assert engine.stats.full_rebuilds == 1  # the initial cold build only
+
+    def test_delta_threshold_zero_always_rebuilds(self):
+        engine = CTCEngine(complete_graph(6), delta_threshold=0)
+        engine.snapshot()
+        engine.add_edge(10, 11)
+        engine.snapshot()
+        assert engine.stats.delta_applies == 0
+        assert engine.stats.full_rebuilds == 2
+
+    def test_disabled_delta_log_always_rebuilds(self):
+        engine = CTCEngine(complete_graph(6), delta_log_limit=0)
+        engine.snapshot()
+        engine.add_edge(10, 11)
+        engine.snapshot()
+        assert engine.logged_versions() == []
+        assert engine.stats.full_rebuilds == 2
+
+    def test_truncated_log_forces_full_rebuild(self):
+        engine = CTCEngine(complete_graph(6), delta_log_limit=2)
+        engine.snapshot()
+        for extra in range(4):  # more mutations than the log retains
+            engine.add_edge(100 + extra, 101 + extra)
+        engine.snapshot()
+        assert engine.stats.delta_applies == 0
+        assert engine.stats.full_rebuilds == 2
+
+    def test_oversized_delta_forces_full_rebuild(self):
+        engine = CTCEngine(complete_graph(6), delta_threshold=0.1)
+        engine.snapshot()  # 15 edges: budget is 1.5 changes
+        engine.add_edges_from([(20, 21), (22, 23), (24, 25)])
+        engine.snapshot()
+        assert engine.stats.delta_applies == 0
+        assert engine.stats.full_rebuilds == 2
+
+    def test_cancelling_mutations_reuse_base_content(self, engine):
+        first = engine.snapshot()
+        engine.remove_edge(*sorted(engine.graph.edges())[0])
+        engine.add_edge(*sorted(first.graph.edges())[0])
+        second = engine.snapshot()
+        assert second.version > first.version
+        assert engine.stats.delta_applies == 1
+        assert second.graph == first.graph
+        assert second.csr is first.csr  # content identical: shared, not rebuilt
+
+    def test_delta_snapshot_equals_full_rebuild(self, engine):
+        engine.snapshot()
+        victim = sorted(engine.graph.edges())[3]
+        engine.remove_edge(*victim)
+        engine.add_edge(990, 991)
+        patched = engine.snapshot()
+        oracle = CTCEngine(engine.graph, delta_threshold=0).snapshot()
+        assert engine.stats.delta_applies == 1
+        assert patched.graph == oracle.graph
+        assert patched.index.all_edge_trussness() == oracle.index.all_edge_trussness()
+        assert patched.index.all_vertex_trussness() == oracle.index.all_vertex_trussness()
+
+    def test_mutations_are_logged_as_deltas(self, engine):
+        engine.add_edge(800, 801)
+        engine.remove_edge(800, 801)
+        assert len(engine.logged_versions()) == 2
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            CTCEngine(complete_graph(3), delta_threshold=-1)
+        with pytest.raises(ValueError):
+            CTCEngine(complete_graph(3), delta_log_limit=-1)
+
+
+class TestHookAtomicity:
+    def test_raising_hook_does_not_skip_version_bump(self):
+        """A user hook blowing up must not leave the cache serving stale data."""
+        engine = CTCEngine(complete_graph(6))
+        engine.snapshot()
+        maintainer = engine.maintainer(4)
+        version = engine.version
+
+        def exploding_hook(delta):
+            raise RuntimeError("observer crashed")
+
+        # Registered after the engine's own hook; a symmetric test registers
+        # one on a fresh maintainer where it runs *before* the engine's.
+        maintainer.register_mutation_hook(exploding_hook)
+        with pytest.raises(RuntimeError):
+            maintainer.delete_vertex(0)
+        assert not engine.graph.has_node(0)  # store mutated...
+        assert engine.version > version  # ...and the cache knows
+        fresh = engine.snapshot()
+        assert not fresh.graph.has_node(0)
+
+    def test_all_hooks_observe_cascade_despite_failure(self):
+        engine = CTCEngine(complete_graph(6))
+        maintainer = engine.maintainer(4)
+        seen: list[GraphDelta] = []
+        maintainer._hooks.insert(0, lambda delta: (_ for _ in ()).throw(RuntimeError))
+        maintainer.register_mutation_hook(seen.append)
+        with pytest.raises(RuntimeError):
+            maintainer.delete_vertex(0)
+        assert len(seen) == 1
+        assert 0 in seen[0].removed_nodes
+        assert engine.version > 0
 
 
 class TestCorrectness:

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta
 from repro.graph.generators import complete_graph, erdos_renyi_graph, star_graph
 from repro.graph.simple_graph import UndirectedGraph, edge_key
 
@@ -119,3 +120,53 @@ class TestEdgeIds:
         graph = UndirectedGraph([("b", "a")])
         csr = CSRGraph.from_graph(graph)
         assert csr.edge_key_of(0) == edge_key("a", "b")
+
+
+class TestApplyDeltaValidation:
+    """Non-normalized deltas must be rejected, not silently mis-applied."""
+
+    def _csr(self):
+        return CSRGraph.from_graph(UndirectedGraph([(0, 1), (1, 2), (0, 2), (2, 3)]))
+
+    def test_empty_delta_shares_snapshot(self):
+        csr = self._csr()
+        patch = csr.apply_delta(GraphDelta())
+        assert patch.csr is csr
+        assert patch.edge_origin.tolist() == list(range(csr.number_of_edges()))
+
+    def test_remove_missing_edge_rejected(self):
+        with pytest.raises(EdgeNotFoundError):
+            self._csr().apply_delta(GraphDelta(removed_edges=[(0, 3)]))
+
+    def test_add_present_edge_rejected(self):
+        with pytest.raises(GraphError):
+            self._csr().apply_delta(GraphDelta(added_edges=[(0, 1)]))
+
+    def test_add_present_node_rejected(self):
+        with pytest.raises(GraphError):
+            self._csr().apply_delta(GraphDelta(added_nodes=[2]))
+
+    def test_remove_missing_node_rejected(self):
+        with pytest.raises(NodeNotFoundError):
+            self._csr().apply_delta(GraphDelta(removed_nodes=[99]))
+
+    def test_implicit_incident_edge_removal_rejected(self):
+        """Removing a node without listing its incident edges is an error."""
+        with pytest.raises(GraphError):
+            self._csr().apply_delta(
+                GraphDelta(removed_nodes=[2], removed_edges=[(2, 3)])
+            )
+
+    def test_edge_to_missing_endpoint_rejected(self):
+        with pytest.raises(NodeNotFoundError):
+            self._csr().apply_delta(GraphDelta(added_edges=[(0, 77)]))
+
+    def test_edge_origin_tracks_renumbering(self):
+        csr = self._csr()
+        patch = csr.apply_delta(GraphDelta(removed_edges=[(0, 1)]))
+        new = patch.csr
+        assert patch.removed_edge_ids.tolist() == [csr.edge_id(0, 1)]
+        for e in range(new.number_of_edges()):
+            origin = int(patch.edge_origin[e])
+            assert origin >= 0
+            assert new.edge_key_of(e) == csr.edge_key_of(origin)

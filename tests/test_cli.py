@@ -61,6 +61,30 @@ class TestSearchCommand:
         members = capsys.readouterr().out.split("members:")[1]
         assert "p1" in members
 
+    def test_engine_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["search", "g.txt", "--query", "a", "--engine"])
+        assert args.cache_size >= 1
+        assert args.delta_threshold > 0
+        assert args.mutate_every == 0
+
+    def test_mutate_every_requires_engine(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["search", figure1_file, "--query", "q1", "--mutate-every", "2"])
+
+    def test_mixed_workload_mode_reports_delta_applies(self, figure1_file, capsys):
+        exit_code = main(
+            [
+                "search", figure1_file, "--query", "q1", "q2",
+                "--method", "lctc", "--eta", "50",
+                "--engine", "--repeat", "6", "--mutate-every", "2",
+                "--cache-size", "2", "--delta-threshold", "0.5",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "delta applies" in captured
+        assert "throughput:" in captured
+
 
 class TestExperimentCommand:
     def test_table2_runs(self, capsys):

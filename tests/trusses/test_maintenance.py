@@ -107,6 +107,55 @@ class TestDeleteVertices:
         assert snapshot == k5
 
 
+class TestMutationHooks:
+    def test_hook_receives_structured_delta(self, k4):
+        maintainer = KTrussMaintainer(k4, 4)
+        seen = []
+        maintainer.register_mutation_hook(seen.append)
+        removed_vertices, removed_edges = maintainer.delete_vertex(0)
+        assert len(seen) == 1
+        delta = seen[0]
+        assert delta.removed_nodes == frozenset(removed_vertices)
+        assert delta.removed_edges == frozenset(removed_edges)
+        assert not delta.added_nodes and not delta.added_edges
+
+    def test_hook_delta_is_normalized(self, figure1, figure1_index, figure1_query):
+        """Every edge incident to a removed vertex is listed explicitly."""
+        community, k = find_maximal_connected_truss(figure1_index, figure1_query)
+        before = community.copy()
+        maintainer = KTrussMaintainer(community, k)
+        seen = []
+        maintainer.register_mutation_hook(seen.append)
+        maintainer.delete_vertex("p1")
+        (delta,) = seen
+        for node in delta.removed_nodes:
+            for other in before.neighbors(node):
+                assert (
+                    (node, other) in delta.removed_edges
+                    or (other, node) in delta.removed_edges
+                )
+
+    def test_noop_cascade_fires_no_hook(self, k4):
+        maintainer = KTrussMaintainer(k4, 4)
+        seen = []
+        maintainer.register_mutation_hook(seen.append)
+        maintainer.delete_vertices([99])
+        assert seen == []
+
+    def test_raising_hook_does_not_starve_later_hooks(self, k4):
+        maintainer = KTrussMaintainer(k4, 4)
+        seen = []
+
+        def explode(delta):
+            raise ValueError("observer crashed")
+
+        maintainer.register_mutation_hook(explode)
+        maintainer.register_mutation_hook(seen.append)
+        with pytest.raises(ValueError):
+            maintainer.delete_vertex(0)
+        assert len(seen) == 1  # later hooks still observed the cascade
+
+
 class TestRestoreKTruss:
     def test_restore_equals_maximal_k_truss(self):
         graph = erdos_renyi_graph(30, 0.3, seed=21)
