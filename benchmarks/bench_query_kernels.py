@@ -1,0 +1,105 @@
+"""Queries/sec: CSR-native kernels vs. the dict path, both through the engine.
+
+Both contenders are served from the *same* cached :class:`CTCEngine`
+snapshot — no per-query decomposition on either side — so the comparison
+isolates pure query execution: the array kernels of
+:mod:`repro.ctc.kernels` (``kernel="csr"``) against the dict-of-sets
+algorithms walking the snapshot's lazily built :class:`TrussIndex`
+(``kernel="dict"``).
+
+``test_kernel_speedup_at_least_2x`` is the acceptance gate for this PR's
+tentpole: CSR-native LCTC queries must deliver at least 2x the dict path's
+queries/sec on the synthetic benchmark graph.  The equivalence suite
+(``tests/ctc/test_kernel_equivalence.py``) proves the two paths return
+identical communities, so the gate measures a pure execution-layer win.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_query_kernels.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets.queries import QueryWorkloadGenerator
+from repro.datasets.registry import load_dataset
+from repro.engine import CTCEngine
+
+#: How many times the query workload is replayed when measuring throughput.
+ROUNDS = 3
+
+#: Community-search method under test; lctc is the paper's headline method
+#: and the regime the kernels target (many small, local queries per
+#: snapshot).  The eta budget matches bench_engine_throughput.py.
+METHOD = "lctc"
+ETA = 50
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load_dataset("dblp-like")
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    generator = QueryWorkloadGenerator(network.graph, seed=7)
+    return generator.random_queries(2, 4)
+
+
+@pytest.fixture(scope="module")
+def engine(network, queries):
+    """One engine whose snapshot serves both paths, warmed outside timing."""
+    engine = CTCEngine(network.graph)
+    # Warm both execution paths: the first csr query builds the QueryKernel's
+    # sorted adjacency, the first dict query builds the lazy TrussIndex.
+    engine.query(queries[0], method=METHOD, eta=ETA, kernel="csr")
+    engine.query(queries[0], method=METHOD, eta=ETA, kernel="dict")
+    return engine
+
+
+def _run(engine, queries, kernel) -> int:
+    count = 0
+    for _ in range(ROUNDS):
+        results = engine.query_batch(queries, method=METHOD, eta=ETA, kernel=kernel)
+        assert all(result.contains_query() for result in results)
+        count += len(results)
+    return count
+
+
+def test_bench_dict_path(benchmark, engine, queries):
+    """Dict path: snapshot-cached TrussIndex, dict-of-sets execution."""
+    count = benchmark.pedantic(_run, args=(engine, queries, "dict"), rounds=1, iterations=1)
+    assert count == ROUNDS * len(queries)
+
+
+def test_bench_kernel_path(benchmark, engine, queries):
+    """Kernel path: the same snapshot, array-native execution."""
+    count = benchmark.pedantic(_run, args=(engine, queries, "csr"), rounds=1, iterations=1)
+    assert count == ROUNDS * len(queries)
+    # Both paths hit the same cached snapshot; only the cold build missed.
+    assert engine.stats.misses == 1
+
+
+def test_kernel_speedup_at_least_2x(engine, queries):
+    """Acceptance gate: CSR-kernel throughput >= 2x dict-path throughput."""
+    started = time.perf_counter()
+    dict_count = _run(engine, queries, "dict")
+    dict_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    kernel_count = _run(engine, queries, "csr")
+    kernel_elapsed = time.perf_counter() - started
+
+    dict_qps = dict_count / dict_elapsed
+    kernel_qps = kernel_count / kernel_elapsed
+    print(
+        f"\ndict path:   {dict_qps:8.1f} queries/sec"
+        f"\nkernel path: {kernel_qps:8.1f} queries/sec"
+        f"\nspeedup:     {kernel_qps / dict_qps:8.1f}x"
+    )
+    assert kernel_qps >= 2.0 * dict_qps, (
+        f"kernel path ({kernel_qps:.1f} q/s) is not >= 2x dict path ({dict_qps:.1f} q/s)"
+    )

@@ -11,6 +11,8 @@ from __future__ import annotations
 import time
 from collections.abc import Hashable, Sequence
 
+from repro.ctc.kernels import split_dispatch
+from repro.ctc.kernels import truss_search as _kernel_truss_search
 from repro.ctc.result import CommunityResult
 from repro.graph.traversal import graph_query_distance
 from repro.trusses.extraction import find_maximal_connected_truss
@@ -20,15 +22,21 @@ __all__ = ["TrussOnly", "truss_only_search"]
 
 
 class TrussOnly:
-    """Return the maximal connected k-truss ``G0`` containing the query."""
+    """Return the maximal connected k-truss ``G0`` containing the query.
+
+    Accepts a :class:`TrussIndex` (dict path) or an
+    :class:`~repro.engine.EngineSnapshot` (CSR-native FindG0 kernel).
+    """
 
     method_name = "truss"
 
     def __init__(self, index: TrussIndex) -> None:
-        self._index = index
+        self._kernel, self._index = split_dispatch(index)
 
     def search(self, query: Sequence[Hashable]) -> CommunityResult:
         """Run FindG0 and wrap the result."""
+        if self._kernel is not None:
+            return _kernel_truss_search(self._kernel, query)
         start_time = time.perf_counter()
         community, k = find_maximal_connected_truss(self._index, query)
         query_nodes = tuple(dict.fromkeys(query))

@@ -13,6 +13,7 @@ Examples
 
     ctc-search search graph.txt --query q1 q2 q3 --method lctc
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100
+    ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --kernel dict
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --mutate-every 5
     ctc-search experiment table2
     ctc-search experiment fig12 --queries 10
@@ -21,7 +22,11 @@ The ``--engine`` family of flags exposes the delta-propagation pipeline:
 ``--cache-size`` and ``--delta-threshold`` are the engine's snapshot-LRU
 and rebuild-policy knobs, and ``--mutate-every N`` interleaves one edge
 mutation every N queries (a mixed read/write workload served through the
-delta path instead of full snapshot rebuilds).
+delta path instead of full snapshot rebuilds).  ``--kernel`` picks the
+query execution path on engine snapshots: ``csr`` (the default with
+``--engine``) runs the CTC methods on the array kernels of
+:mod:`repro.ctc.kernels`, ``dict`` forces the classic dict path; results
+are identical either way.
 """
 
 from __future__ import annotations
@@ -81,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the query through the cached CTCEngine (CSR snapshot + memoized truss index)",
     )
     search_parser.add_argument(
+        "--kernel",
+        choices=("csr", "dict"),
+        default=None,
+        help=(
+            "query execution path with --engine: 'csr' (default) runs the CTC "
+            "methods on the snapshot's array kernels, 'dict' forces the classic "
+            "dict path through the lazily built truss index; both return "
+            "identical communities"
+        ),
+    )
+    search_parser.add_argument(
         "--repeat",
         type=int,
         default=1,
@@ -135,6 +151,9 @@ def _run_search(args: argparse.Namespace) -> int:
         raise SystemExit("--cache-size must be >= 1")
     if args.delta_threshold < 0:
         raise SystemExit("--delta-threshold must be >= 0")
+    if args.kernel == "csr" and not args.engine:
+        raise SystemExit("--kernel csr requires --engine (the kernels run on engine snapshots)")
+    kernel = args.kernel or ("csr" if args.engine else "dict")
     graph = read_edge_list(args.graph)
     if args.engine:
         target = CTCEngine(
@@ -157,7 +176,9 @@ def _run_search(args: argparse.Namespace) -> int:
     for iteration in range(args.repeat):
         if mutator is not None and iteration and iteration % args.mutate_every == 0:
             mutator.step()
-        result = search(target, args.query, method=args.method, eta=args.eta, gamma=args.gamma)
+        result = search(
+            target, args.query, method=args.method, eta=args.eta, gamma=args.gamma, kernel=kernel
+        )
     elapsed = time.perf_counter() - started
     print(f"method:        {result.method}")
     print(f"trussness:     {result.trussness}")
@@ -173,6 +194,7 @@ def _run_search(args: argparse.Namespace) -> int:
         print(f"throughput:    {args.repeat / elapsed:.1f} queries/sec ({args.repeat} runs)")
     if args.engine:
         stats = target.stats
+        print(f"kernel:        {kernel}")
         print(
             f"engine cache:  {stats.hits} hits, {stats.misses} misses "
             f"({stats.delta_applies} delta applies, {stats.full_rebuilds} full rebuilds)"

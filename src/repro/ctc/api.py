@@ -32,7 +32,7 @@ from repro.graph.simple_graph import UndirectedGraph
 from repro.trusses.index import TrussIndex
 
 if TYPE_CHECKING:
-    from repro.engine import CTCEngine
+    from repro.engine import CTCEngine, EngineSnapshot  # noqa: F401 (docstring types)
 
 __all__ = ["search", "available_methods", "build_index", "build_engine"]
 
@@ -81,7 +81,7 @@ def build_engine(
 
 
 def search(
-    graph: UndirectedGraph | TrussIndex | "CTCEngine",
+    graph: UndirectedGraph | TrussIndex | "CTCEngine | EngineSnapshot",
     query: Sequence[Hashable],
     method: str = "lctc",
     *,
@@ -89,6 +89,7 @@ def search(
     gamma: float = DEFAULT_GAMMA,
     max_trussness_k: int | None = None,
     time_budget_seconds: float | None = None,
+    kernel: str = "csr",
 ) -> CommunityResult:
     """Find a community containing ``query`` in ``graph``.
 
@@ -97,8 +98,9 @@ def search(
     graph:
         An :class:`UndirectedGraph` (an index is built on the fly — pay this
         cost once per graph by preferring the alternatives for repeated
-        queries), a prebuilt :class:`TrussIndex`, or a
-        :class:`~repro.engine.CTCEngine` (served from its cached snapshot).
+        queries), a prebuilt :class:`TrussIndex`, a
+        :class:`~repro.engine.CTCEngine` (served from its cached snapshot),
+        or a pinned :class:`~repro.engine.EngineSnapshot`.
     query:
         Non-empty sequence of query nodes; duplicates are ignored.
     method:
@@ -111,6 +113,13 @@ def search(
     time_budget_seconds:
         Optional wall-clock cap for the global methods (``basic``,
         ``bulk-delete``), mirroring the paper's one-hour limit.
+    kernel:
+        Execution path for engine/snapshot inputs: ``"csr"`` (default) runs
+        the CTC methods on the snapshot's array kernels
+        (:mod:`repro.ctc.kernels`), ``"dict"`` forces the classic dict path
+        through the snapshot's lazily built :class:`TrussIndex`.  Both
+        return identical communities; plain graphs and prebuilt indexes
+        always use the dict path.
 
     Returns
     -------
@@ -120,41 +129,59 @@ def search(
     Raises
     ------
     ConfigurationError
-        If ``method`` is unknown.
+        If ``method`` or ``kernel`` is unknown.
     QueryError, NoCommunityFoundError
         Propagated from the underlying algorithm when the query is invalid
         or no community exists.
     """
+    if kernel not in ("csr", "dict"):
+        raise ConfigurationError(
+            f"unknown kernel {kernel!r}; expected 'csr' or 'dict'"
+        )
+    snapshot = None
     if isinstance(graph, TrussIndex):
         index = graph
     else:
         # Imported lazily: repro.engine depends on this module for search().
-        from repro.engine import CTCEngine
+        from repro.engine import CTCEngine, EngineSnapshot
 
         if isinstance(graph, CTCEngine):
-            index = graph.snapshot().index
+            snapshot = graph.snapshot()
+        elif isinstance(graph, EngineSnapshot):
+            snapshot = graph
         else:
             index = TrussIndex(graph)
+    if method in _BASELINE_METHODS:
+        # The baselines only ever need the frozen graph, never an index, so
+        # dispatch them before the kernel knob can force a lazy index build.
+        baseline_graph = snapshot.graph if snapshot is not None else index.graph
+        if method == "mdc":
+            from repro.baselines.mdc import MinimumDegreeCommunity
+
+            return MinimumDegreeCommunity(baseline_graph).search(query)
+        from repro.baselines.qdc import QueryBiasedDensestCommunity
+
+        return QueryBiasedDensestCommunity(baseline_graph).search(query)
+
+    if snapshot is not None and kernel == "dict":
+        index = snapshot.index
+        snapshot = None
+    # The CTC algorithm classes dispatch on what they are handed: an
+    # EngineSnapshot selects the CSR-native kernels, a TrussIndex the dict
+    # path (see repro.ctc.kernels.kernel_of).
+    target = snapshot if snapshot is not None else index
 
     if method == "basic":
-        return BasicCTC(index, time_budget_seconds=time_budget_seconds).search(query)
+        return BasicCTC(target, time_budget_seconds=time_budget_seconds).search(query)
     if method == "bulk-delete":
-        return BulkDeleteCTC(index, time_budget_seconds=time_budget_seconds).search(query)
+        return BulkDeleteCTC(target, time_budget_seconds=time_budget_seconds).search(query)
     if method == "lctc":
-        searcher = LocalCTC(index, eta=eta, gamma=gamma, max_trussness_k=max_trussness_k)
+        searcher = LocalCTC(target, eta=eta, gamma=gamma, max_trussness_k=max_trussness_k)
         return searcher.search(query)
     if method == "truss":
         from repro.baselines.truss_only import TrussOnly
 
-        return TrussOnly(index).search(query)
-    if method == "mdc":
-        from repro.baselines.mdc import MinimumDegreeCommunity
-
-        return MinimumDegreeCommunity(index.graph).search(query)
-    if method == "qdc":
-        from repro.baselines.qdc import QueryBiasedDensestCommunity
-
-        return QueryBiasedDensestCommunity(index.graph).search(query)
+        return TrussOnly(target).search(query)
     raise ConfigurationError(
         f"unknown method {method!r}; expected one of {available_methods()}"
     )

@@ -18,6 +18,8 @@ from __future__ import annotations
 import time
 from collections.abc import Hashable, Sequence
 
+from repro.ctc.kernels import basic_search as _kernel_basic_search
+from repro.ctc.kernels import split_dispatch
 from repro.ctc.query_distance import compute_snapshot
 from repro.ctc.result import CommunityResult
 from repro.graph.components import nodes_are_connected
@@ -35,9 +37,13 @@ class BasicCTC:
     Parameters
     ----------
     index:
-        A :class:`TrussIndex` over the graph to be searched.  Building the
-        index once and reusing it across queries mirrors the paper's setup
-        (Table 3 measures index construction separately from query time).
+        A :class:`TrussIndex` over the graph to be searched (building the
+        index once and reusing it across queries mirrors the paper's setup;
+        Table 3 measures index construction separately from query time) —
+        **or** an :class:`~repro.engine.EngineSnapshot`, in which case the
+        search runs on the snapshot's CSR-native kernels
+        (:mod:`repro.ctc.kernels`) instead of the dict path; both paths
+        return identical communities.
     max_iterations:
         Safety cap on peeling iterations; ``None`` means no cap.  The paper's
         experiments impose a one-hour wall-clock cap instead — callers that
@@ -55,13 +61,24 @@ class BasicCTC:
         max_iterations: int | None = None,
         time_budget_seconds: float | None = None,
     ) -> None:
-        self._index = index
+        self._kernel, self._index = split_dispatch(index)
         self._max_iterations = max_iterations
         self._time_budget = time_budget_seconds
 
     # ------------------------------------------------------------------
+    def _kernel_search(self, query: Sequence[Hashable]) -> CommunityResult:
+        """Run this algorithm's CSR-native kernel (the snapshot path)."""
+        return _kernel_basic_search(
+            self._kernel,
+            query,
+            max_iterations=self._max_iterations,
+            time_budget_seconds=self._time_budget,
+        )
+
     def search(self, query: Sequence[Hashable]) -> CommunityResult:
         """Run the search for ``query`` and return the community found."""
+        if self._kernel is not None:
+            return self._kernel_search(query)
         start_time = time.perf_counter()
         initial_truss, k = find_maximal_connected_truss(self._index, query)
         query_nodes = tuple(dict.fromkeys(query))

@@ -35,6 +35,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Sequence
 
 from repro.ctc.basic import BasicCTC
+from repro.ctc.kernels import bulk_delete_search as _kernel_bulk_delete_search
 from repro.ctc.query_distance import QueryDistanceSnapshot
 from repro.graph.simple_graph import UndirectedGraph
 from repro.trusses.index import TrussIndex
@@ -81,6 +82,17 @@ class BulkDeleteCTC(BasicCTC):
         self._best_distance_seen = float("inf")
 
     # ------------------------------------------------------------------
+    def _kernel_search(self, query: Sequence[Hashable]):
+        """BulkDelete's CSR-native kernel (selected by the base-class seam)."""
+        return _kernel_bulk_delete_search(
+            self._kernel,
+            query,
+            threshold_offset=self._threshold_offset,
+            batch_limit=self._batch_limit,
+            max_iterations=self._max_iterations,
+            time_budget_seconds=self._time_budget,
+        )
+
     def search(self, query: Sequence[Hashable]):
         # The running minimum distance d is per-query state; reset it so the
         # searcher object can be reused across queries.

@@ -1,0 +1,257 @@
+""":class:`QueryKernel`: the shared execution context of the CSR-native kernels.
+
+Every kernel in this package operates on one frozen ``(CSRGraph, trussness
+ndarray)`` pair — the exact artifacts :class:`~repro.engine.EngineSnapshot`
+already carries.  ``QueryKernel`` bundles that pair with the derived
+structures the kernels need, all built **lazily** and cached, so a snapshot
+that only ever serves, say, FindG0 queries never pays for the structures the
+Steiner kernel wants:
+
+* ``flat adjacency`` — the CSR rows re-exposed as plain Python lists
+  (``bounds`` / ``neighbors`` / ``edges``), because scalar indexing into
+  Python lists is several times faster than scalar indexing into ``numpy``
+  arrays on the BFS/peeling hot loops (the same trade
+  :mod:`repro.trusses.csr_decomposition` makes);
+* ``sorted adjacency`` — each row re-ordered by *decreasing edge trussness*
+  (ties by ``repr`` of the neighbour label), the array twin of
+  :class:`~repro.trusses.index.TrussIndex`'s per-node lists.  The parallel
+  ``sorted_neg_trussness`` list holds negated trussness values, so the
+  qualifying prefix for "incident edges with trussness >= k" is one
+  ``bisect_right`` on a flat list;
+* ``repr ranks`` — the position of every node in the ``repr``-sorted label
+  order.  The dict-path algorithms break ties with ``repr(node)`` string
+  comparisons; the kernels compare the precomputed integer ranks instead and
+  make identical choices.
+
+The tie-break mirroring is what buys the package its contract: for the same
+query, a kernel and its dict-path twin return **identical** communities
+(``tests/ctc/test_kernel_equivalence.py``), so the engine can route through
+whichever is faster without observable differences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["QueryKernel", "validate_query_ids"]
+
+
+def validate_query_ids(
+    csr: CSRGraph, query: Sequence[Hashable]
+) -> tuple[list[Hashable], list[int]]:
+    """Validate ``query`` against the snapshot and map it to dense node ids.
+
+    Mirrors :func:`repro.trusses.extraction.validate_query`: deduplicates
+    while preserving order, then checks non-emptiness and membership.
+
+    Raises
+    ------
+    QueryError
+        If the query is empty or contains nodes missing from the snapshot.
+    """
+    normalized = list(dict.fromkeys(query))
+    if not normalized:
+        raise QueryError("the query node set must not be empty")
+    missing = [node for node in normalized if not csr.has_node(node)]
+    if missing:
+        raise QueryError(f"query nodes not present in the graph: {missing!r}")
+    return normalized, [csr.node_id(node) for node in normalized]
+
+
+class QueryKernel:
+    """Lazily derived, cached query-execution structures over one snapshot.
+
+    Parameters
+    ----------
+    csr:
+        The frozen snapshot to execute against.
+    trussness:
+        Per-edge-id trussness (``int64``, length ``csr.number_of_edges()``),
+        as produced by
+        :func:`~repro.trusses.csr_decomposition.csr_truss_decomposition`.
+
+    A ``QueryKernel`` is immutable-by-contract like the snapshot it wraps;
+    :class:`~repro.engine.EngineSnapshot` memoizes one per snapshot so the
+    derived structures amortize across every query on that graph version.
+    """
+
+    __slots__ = (
+        "csr",
+        "trussness",
+        "_tau_list",
+        "_flat",
+        "_sorted",
+        "_repr_rank",
+        "_vertex_tau",
+        "_levels",
+        "_edge_order_desc",
+        "_edge_u_list",
+        "_edge_v_list",
+    )
+
+    def __init__(self, csr: CSRGraph, trussness: np.ndarray) -> None:
+        self.csr = csr
+        self.trussness = np.asarray(trussness, dtype=np.int64)
+        if self.trussness.shape != (csr.number_of_edges(),):
+            raise ValueError(
+                f"trussness must have one entry per edge "
+                f"({csr.number_of_edges()}), got shape {self.trussness.shape}"
+            )
+        self._tau_list: list[int] | None = None
+        self._flat: tuple[list[int], list[int], list[int]] | None = None
+        self._sorted: tuple[list[int], list[int], list[int], list[int]] | None = None
+        self._repr_rank: list[int] | None = None
+        self._vertex_tau: list[int] | None = None
+        self._levels: list[int] | None = None
+        self._edge_order_desc: list[int] | None = None
+        self._edge_u_list: list[int] | None = None
+        self._edge_v_list: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # lazy derived structures
+    # ------------------------------------------------------------------
+    @property
+    def tau(self) -> list[int]:
+        """Per-edge trussness as a plain list (fast scalar access)."""
+        if self._tau_list is None:
+            self._tau_list = self.trussness.tolist()
+        return self._tau_list
+
+    @property
+    def edge_u(self) -> list[int]:
+        """Lower endpoint id of every edge, as a plain list."""
+        if self._edge_u_list is None:
+            self._edge_u_list = self.csr.edge_u.tolist()
+        return self._edge_u_list
+
+    @property
+    def edge_v(self) -> list[int]:
+        """Upper endpoint id of every edge, as a plain list."""
+        if self._edge_v_list is None:
+            self._edge_v_list = self.csr.edge_v.tolist()
+        return self._edge_v_list
+
+    @property
+    def flat(self) -> tuple[list[int], list[int], list[int]]:
+        """``(bounds, neighbors, edges)``: the raw CSR rows as Python lists.
+
+        Node ``i``'s neighbours occupy ``neighbors[bounds[i]:bounds[i+1]]``
+        (sorted by neighbour id), with the parallel ``edges`` list holding
+        the edge id of each slot.
+        """
+        if self._flat is None:
+            self._flat = (
+                self.csr.indptr.tolist(),
+                self.csr.indices.tolist(),
+                self.csr.slot_edge.tolist(),
+            )
+        return self._flat
+
+    @property
+    def repr_rank(self) -> list[int]:
+        """Rank of every node id in the ``repr``-sorted label order.
+
+        ``repr_rank[u] < repr_rank[v]`` iff ``repr(label(u)) <
+        repr(label(v))`` (ties between equal ``repr`` strings keep id
+        order), which lets the kernels reproduce the dict paths'
+        ``repr``-based tie-breaks with integer comparisons.
+        """
+        if self._repr_rank is None:
+            labels = self.csr.labels()
+            order = sorted(range(len(labels)), key=lambda node: repr(labels[node]))
+            rank = [0] * len(labels)
+            for position, node in enumerate(order):
+                rank[node] = position
+            self._repr_rank = rank
+        return self._repr_rank
+
+    @property
+    def sorted_adjacency(self) -> tuple[list[int], list[int], list[int], list[int]]:
+        """``(bounds, neighbors, edges, neg_trussness)``: trussness-sorted rows.
+
+        Each row is ordered by decreasing edge trussness, ties by the
+        neighbour's ``repr`` rank — exactly the order
+        :meth:`TrussIndex.incident_edges_at_least` yields.  The qualifying
+        prefix for trussness >= k ends at
+        ``bisect_right(neg_trussness, -k, start, stop)``.
+        """
+        if self._sorted is None:
+            csr = self.csr
+            num_nodes = csr.number_of_nodes()
+            row_of_slot = np.repeat(
+                np.arange(num_nodes, dtype=np.int64), np.diff(csr.indptr)
+            )
+            neg_tau = -self.trussness[csr.slot_edge]
+            rank = np.asarray(self.repr_rank, dtype=np.int64)[csr.indices]
+            # One composite-key argsort instead of a three-key lexsort (the
+            # keys are small non-negative ints, so the packed value is exact
+            # and ~10x faster to sort); equivalent to
+            # np.lexsort((rank, neg_tau, row_of_slot)).
+            tau_span = self.max_trussness + 1
+            if num_nodes * tau_span < 2**62 // max(num_nodes, 1):
+                composite = (
+                    row_of_slot * tau_span + (neg_tau + self.max_trussness)
+                ) * max(num_nodes, 1) + rank
+                order = np.argsort(composite, kind="stable")
+            else:  # packed key would overflow int64 (graphs beyond ~1e9 slots)
+                order = np.lexsort((rank, neg_tau, row_of_slot))
+            self._sorted = (
+                csr.indptr.tolist(),
+                csr.indices[order].tolist(),
+                csr.slot_edge[order].tolist(),
+                neg_tau[order].tolist(),
+            )
+        return self._sorted
+
+    @property
+    def vertex_trussness(self) -> list[int]:
+        """Trussness of every node: max over incident edges, 1 if isolated."""
+        if self._vertex_tau is None:
+            csr = self.csr
+            num_nodes = csr.number_of_nodes()
+            result = np.ones(num_nodes, dtype=np.int64)
+            degrees = np.diff(csr.indptr)
+            nonempty = degrees > 0
+            if csr.slot_edge.size:
+                # Segmented max over each non-empty row; a reduceat segment
+                # between consecutive non-empty starts spans exactly that
+                # row's slots (intervening empty rows contribute none).
+                slot_tau = self.trussness[csr.slot_edge]
+                starts = csr.indptr[:-1][nonempty]
+                result[nonempty] = np.maximum.reduceat(slot_tau, starts)
+            self._vertex_tau = result.tolist()
+        return self._vertex_tau
+
+    @property
+    def max_trussness(self) -> int:
+        """``tau_bar(empty set)``: the maximum edge trussness (2 if no edges)."""
+        if self.trussness.size == 0:
+            return 2
+        return int(self.trussness.max())
+
+    @property
+    def levels(self) -> list[int]:
+        """Distinct trussness levels present, in decreasing order."""
+        if self._levels is None:
+            self._levels = np.unique(self.trussness)[::-1].tolist()
+        return self._levels
+
+    @property
+    def edge_order_desc(self) -> list[int]:
+        """Edge ids sorted by decreasing trussness (stable), for FindG0."""
+        if self._edge_order_desc is None:
+            self._edge_order_desc = np.argsort(
+                -self.trussness, kind="stable"
+            ).tolist()
+        return self._edge_order_desc
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(nodes={self.csr.number_of_nodes()}, "
+            f"edges={self.csr.number_of_edges()})"
+        )

@@ -1,0 +1,154 @@
+"""FindG0 on arrays: maximal connected k-truss containing Q, largest k.
+
+The dict path (:func:`repro.trusses.extraction.find_maximal_connected_truss`)
+walks the truss index level by level, BFS-style.  Its *result* is canonical
+— ``k`` is the largest trussness threshold at which the query nodes fall in
+one connected component of the ``{tau(e) >= k}`` subgraph, and ``G0`` is
+exactly that component — so the kernel is free to compute the same object a
+cheaper way: edges are unioned into a disjoint-set forest in **decreasing
+trussness order** (one bucketed sweep over the pre-sorted edge-id array),
+checking query connectivity at each level boundary.  Work is proportional
+to the edges with trussness >= the answer, the same region the index walk
+touches, without the per-level frontier bookkeeping.
+
+The component is then extracted with one BFS over the CSR rows restricted
+to qualifying edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.ctc.kernels.context import QueryKernel
+from repro.exceptions import NoCommunityFoundError, QueryError
+
+__all__ = ["find_g0", "connected_truss_at_k"]
+
+
+def _union_find_parent(parent: list[int], node: int) -> int:
+    """Find with path halving on a plain parent list."""
+    while parent[node] != node:
+        parent[node] = parent[parent[node]]
+        node = parent[node]
+    return node
+
+
+def _component_at_k(
+    kernel: QueryKernel, root: int, k: int
+) -> tuple[list[int], list[int]]:
+    """BFS the component of ``root`` in the trussness >= k subgraph.
+
+    Returns sorted node ids and sorted edge ids of the component.
+    """
+    bounds, neighbors, edges = kernel.flat
+    tau = kernel.tau
+    seen = {root}
+    queue: deque[int] = deque([root])
+    component_edges: set[int] = set()
+    while queue:
+        node = queue.popleft()
+        for slot in range(bounds[node], bounds[node + 1]):
+            edge = edges[slot]
+            if tau[edge] < k:
+                continue
+            component_edges.add(edge)
+            other = neighbors[slot]
+            if other not in seen:
+                seen.add(other)
+                queue.append(other)
+    return sorted(seen), sorted(component_edges)
+
+
+def find_g0(
+    kernel: QueryKernel, query_ids: list[int]
+) -> tuple[list[int], list[int], int]:
+    """Return ``(node_ids, edge_ids, k)`` of the paper's ``G0`` for the query.
+
+    Results are identical to the dict path's
+    :func:`~repro.trusses.extraction.find_maximal_connected_truss`
+    (node/edge sets and ``k``), modulo the id-vs-label representation.
+
+    Raises
+    ------
+    NoCommunityFoundError
+        If no connected k-truss (k >= 2) contains all query nodes.
+    """
+    vertex_tau = kernel.vertex_trussness
+    upper_bound = min(vertex_tau[node] for node in query_ids)
+    if upper_bound < 2:
+        # Some query vertex is isolated; a single isolated query node is its
+        # own trivial community (k = 2 by convention), mirroring the dict path.
+        if len(query_ids) == 1:
+            return [query_ids[0]], [], 2
+        raise NoCommunityFoundError(
+            "a query node is isolated; no connected truss contains the whole query"
+        )
+    if len(query_ids) == 1:
+        # A single node is trivially connected at its own vertex trussness
+        # (Lemma 1's upper bound is attained immediately).
+        node = query_ids[0]
+        component_nodes, component_edges = _component_at_k(kernel, node, upper_bound)
+        return component_nodes, component_edges, upper_bound
+
+    tau = kernel.tau
+    edge_u = kernel.edge_u
+    edge_v = kernel.edge_v
+    order = kernel.edge_order_desc
+    parent = list(range(kernel.csr.number_of_nodes()))
+    anchor = query_ids[0]
+    others = query_ids[1:]
+
+    position = 0
+    total = len(order)
+    for level in kernel.levels:
+        # Union every edge at this trussness level (the sweep is cumulative).
+        while position < total:
+            edge = order[position]
+            if tau[edge] < level:
+                break
+            root_a = _union_find_parent(parent, edge_u[edge])
+            root_b = _union_find_parent(parent, edge_v[edge])
+            if root_a != root_b:
+                parent[root_b] = root_a
+            position += 1
+        if level > upper_bound:
+            # Lemma 1: no level above min vertex trussness can connect Q.
+            continue
+        anchor_root = _union_find_parent(parent, anchor)
+        if all(_union_find_parent(parent, node) == anchor_root for node in others):
+            component_nodes, component_edges = _component_at_k(kernel, anchor, level)
+            return component_nodes, component_edges, level
+
+    raise NoCommunityFoundError(
+        f"no connected k-truss (k >= 2) contains all query nodes "
+        f"{[kernel.csr.node_label(node) for node in query_ids]!r}"
+    )
+
+
+def connected_truss_at_k(
+    kernel: QueryKernel, query_ids: list[int], k: int
+) -> tuple[list[int], list[int]]:
+    """Return the connected k-truss containing the query at the *given* ``k``.
+
+    Array twin of :func:`~repro.trusses.extraction.find_connected_truss_at_k`
+    (the Figure 14 "given k" variant): the component of the ``{tau >= k}``
+    subgraph containing all query nodes, where query nodes count as present
+    even when isolated at that level (a lone query node is its own
+    single-node component).
+
+    Raises
+    ------
+    QueryError
+        If ``k < 2``.
+    NoCommunityFoundError
+        If the query nodes are not connected in the maximal k-truss.
+    """
+    if k < 2:
+        raise QueryError(f"trussness level must be >= 2, got {k}")
+    component_nodes, component_edges = _component_at_k(kernel, query_ids[0], k)
+    members = set(component_nodes)
+    if any(node not in members for node in query_ids[1:]):
+        raise NoCommunityFoundError(
+            f"query nodes are not connected in the maximal {k}-truss"
+        )
+    return component_nodes, component_edges

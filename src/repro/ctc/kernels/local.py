@@ -1,0 +1,56 @@
+"""LCTC's budgeted local expansion on the sorted-adjacency arrays.
+
+Array twin of :meth:`repro.ctc.local.LocalCTC._expand` (Algorithm 5,
+step 2): grow the Steiner tree outward in BFS order through edges whose
+trussness is at least ``k_t``, stopping node growth once the budget ``eta``
+is reached while still closing edges among already-included nodes.
+
+The expansion is order-sensitive — the budget cuts the frontier — so the
+BFS queue seeding (tree nodes by ``repr`` order) and the neighbour
+iteration order (decreasing trussness, ``repr`` ties) both mirror the dict
+path, which is what makes the kernel's communities identical to it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+
+from repro.ctc.kernels.context import QueryKernel
+
+__all__ = ["expand"]
+
+
+def expand(
+    kernel: QueryKernel,
+    tree_nodes: set[int],
+    tree_edges: set[int],
+    k_t: int,
+    eta: int,
+) -> tuple[set[int], set[int]]:
+    """Grow the Steiner tree through trussness >= ``k_t`` edges up to ``eta`` nodes.
+
+    Returns the expanded ``(node ids, edge ids)``.
+    """
+    repr_rank = kernel.repr_rank
+    bounds, neighbors, slot_edges, neg_tau = kernel.sorted_adjacency
+    nodes = set(tree_nodes)
+    edges = set(tree_edges)
+    queue: deque[int] = deque(sorted(tree_nodes, key=repr_rank.__getitem__))
+    enqueued = set(queue)
+    while queue:
+        node = queue.popleft()
+        start = bounds[node]
+        stop = bisect_right(neg_tau, -k_t, start, bounds[node + 1])
+        for slot in range(start, stop):
+            neighbor = neighbors[slot]
+            if len(nodes) >= eta and neighbor not in nodes:
+                # Budget reached: keep closing edges among already-included
+                # nodes (they are free density-wise) but add no new nodes.
+                continue
+            edges.add(slot_edges[slot])
+            nodes.add(neighbor)
+            if neighbor not in enqueued:
+                enqueued.add(neighbor)
+                queue.append(neighbor)
+    return nodes, edges

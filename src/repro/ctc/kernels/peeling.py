@@ -1,0 +1,291 @@
+"""The shared peel engine of Basic/BulkDelete on edge-id arrays.
+
+This is the array twin of :meth:`repro.ctc.basic.BasicCTC._peel` +
+:class:`~repro.trusses.maintenance.KTrussMaintainer`: a working subgraph is
+held as int-keyed adjacency maps (``node id -> {neighbour id: edge id}``)
+plus an edge-id-keyed support table, query distances are recomputed each
+iteration with one BFS per query node, victims are selected by the
+algorithm's rule, and Algorithm 3's cascade restores the k-truss property
+incrementally.  All tie-breaks mirror the dict path (``repr`` ranks instead
+of ``repr`` strings), so for the same starting truss the two engines peel
+the same vertices in the same order and return identical best graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable
+
+from repro.ctc.kernels.context import QueryKernel
+
+__all__ = [
+    "PeelOutcome",
+    "peel",
+    "basic_selector",
+    "bulk_delete_selector",
+    "subgraph_adjacency",
+    "query_distances",
+]
+
+_INF = float("inf")
+
+#: A victim-selection rule: maps the current distance table to the vertex
+#: set to peel this iteration (empty set = stop).
+VictimSelector = Callable[[dict[int, float]], set[int]]
+
+
+class PeelOutcome:
+    """What one peel run produced (the kernel twin of ``_peel``'s tuple)."""
+
+    __slots__ = ("node_ids", "edge_ids", "query_distance", "iterations", "timed_out")
+
+    def __init__(
+        self,
+        node_ids: set[int],
+        edge_ids: set[int],
+        query_distance: float,
+        iterations: int,
+        timed_out: bool,
+    ) -> None:
+        self.node_ids = node_ids
+        self.edge_ids = edge_ids
+        self.query_distance = query_distance
+        self.iterations = iterations
+        self.timed_out = timed_out
+
+
+def subgraph_adjacency(
+    kernel: QueryKernel, node_ids: list[int], edge_ids: list[int]
+) -> dict[int, dict[int, int]]:
+    """Build ``{node: {neighbour: edge id}}`` maps for a subgraph."""
+    edge_u, edge_v = kernel.edge_u, kernel.edge_v
+    adjacency: dict[int, dict[int, int]] = {node: {} for node in node_ids}
+    for edge in edge_ids:
+        u, v = edge_u[edge], edge_v[edge]
+        adjacency[u][v] = edge
+        adjacency[v][u] = edge
+    return adjacency
+
+
+def _supports(adjacency: dict[int, dict[int, int]]) -> dict[int, int]:
+    """Support of every edge of the subgraph (C-speed keys-view intersection)."""
+    supports: dict[int, int] = {}
+    for node, row in adjacency.items():
+        keys = row.keys()
+        for other, edge in row.items():
+            if node > other:
+                continue
+            supports[edge] = len(keys & adjacency[other].keys())
+    return supports
+
+
+def query_distances(
+    adjacency: dict[int, dict[int, int]], query_ids: list[int]
+) -> dict[int, float]:
+    """``dist(v, Q) = max_q dist(v, q)`` for every subgraph node (BFS per q)."""
+    maxima: dict[int, float] = {node: 0.0 for node in adjacency}
+    for source in query_ids:
+        distances = {source: 0}
+        queue: deque[int] = deque([source])
+        while queue:
+            node = queue.popleft()
+            next_distance = distances[node] + 1
+            for neighbor in adjacency[node]:
+                if neighbor not in distances:
+                    distances[neighbor] = next_distance
+                    queue.append(neighbor)
+        for node in maxima:
+            distance = distances.get(node, _INF)
+            if distance > maxima[node]:
+                maxima[node] = distance
+    return maxima
+
+
+def _query_connected(
+    adjacency: dict[int, dict[int, int]], query_ids: list[int]
+) -> bool:
+    """``connect_G(Q)``: all query nodes present and in one component."""
+    if any(node not in adjacency for node in query_ids):
+        return False
+    if len(query_ids) == 1:
+        return True
+    root = query_ids[0]
+    seen = {root}
+    queue: deque[int] = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return all(node in seen for node in query_ids[1:])
+
+
+def _cascade_delete(
+    kernel: QueryKernel,
+    adjacency: dict[int, dict[int, int]],
+    supports: dict[int, int],
+    alive_edges: set[int],
+    victims: set[int],
+    k: int,
+) -> None:
+    """Algorithm 3 on arrays: delete ``victims``, restore the k-truss property.
+
+    Mutates ``adjacency``, ``supports`` and ``alive_edges`` in place; the
+    fixpoint (the maximal sub-structure where every edge keeps support >=
+    k - 2, minus newly isolated vertices) is unique, so any processing
+    order matches the dict path's result.
+    """
+    edge_u, edge_v = kernel.edge_u, kernel.edge_v
+    removal_queue: deque[int] = deque()
+    queued: set[int] = set()
+    present_victims = [node for node in victims if node in adjacency]
+    for node in present_victims:
+        for edge in adjacency[node].values():
+            if edge not in queued:
+                queued.add(edge)
+                removal_queue.append(edge)
+
+    while removal_queue:
+        edge = removal_queue.popleft()
+        if edge not in alive_edges:
+            continue
+        u, v = edge_u[edge], edge_v[edge]
+        row_u, row_v = adjacency[u], adjacency[v]
+        smaller, larger = (row_u, row_v) if len(row_u) <= len(row_v) else (row_v, row_u)
+        for w, first in smaller.items():
+            second = larger.get(w)
+            if second is None:
+                continue
+            for side in (first, second):
+                if side in queued:
+                    continue
+                supports[side] -= 1
+                if supports[side] < k - 2:
+                    queued.add(side)
+                    removal_queue.append(side)
+        del row_u[v]
+        del row_v[u]
+        supports.pop(edge, None)
+        alive_edges.discard(edge)
+
+    for node in present_victims:
+        del adjacency[node]
+    for node in [node for node, row in adjacency.items() if not row]:
+        del adjacency[node]
+
+
+def peel(
+    kernel: QueryKernel,
+    node_ids: list[int],
+    edge_ids: list[int],
+    k: int,
+    query_ids: list[int],
+    select_victims: VictimSelector,
+    *,
+    start_time: float,
+    time_budget: float | None = None,
+    max_iterations: int | None = None,
+) -> PeelOutcome:
+    """Run the greedy peeling loop on an explicit starting truss.
+
+    The loop structure — best-graph tracking, budget checks, victim
+    selection, cascade — mirrors :meth:`BasicCTC._peel` statement for
+    statement; only the data representation differs.
+    """
+    adjacency = subgraph_adjacency(kernel, node_ids, edge_ids)
+    supports = _supports(adjacency)
+    alive_edges = set(edge_ids)
+    best_nodes = set(node_ids)
+    best_edges = set(edge_ids)
+    best_distance = _INF
+    iterations = 0
+    timed_out = False
+
+    while _query_connected(adjacency, query_ids):
+        distances = query_distances(adjacency, query_ids)
+        current_distance = max(distances.values()) if distances else 0.0
+        if current_distance < best_distance:
+            best_distance = current_distance
+            best_nodes = set(adjacency)
+            best_edges = set(alive_edges)
+        if time_budget is not None and time.perf_counter() - start_time > time_budget:
+            timed_out = True
+            break
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        victims = select_victims(distances)
+        if not victims:
+            break
+        _cascade_delete(kernel, adjacency, supports, alive_edges, victims, k)
+        iterations += 1
+    return PeelOutcome(best_nodes, best_edges, best_distance, iterations, timed_out)
+
+
+def basic_selector(kernel: QueryKernel, query_ids: list[int]) -> VictimSelector:
+    """Algorithm 1's rule: the single farthest vertex (ties like the dict path).
+
+    Ties on distance prefer non-query vertices, then the largest ``repr``
+    rank — matching
+    :meth:`~repro.ctc.query_distance.QueryDistanceSnapshot.farthest_vertex`.
+    Peeling stops (empty victim set) once the farthest distance is 0.
+    """
+    query_set = set(query_ids)
+    repr_rank = kernel.repr_rank
+
+    def select(distances: dict[int, float]) -> set[int]:
+        best_node: int | None = None
+        best_key: tuple[float, bool, int] | None = None
+        for node, distance in distances.items():
+            key = (distance, node not in query_set, repr_rank[node])
+            if best_key is None or key > best_key:
+                best_key = key
+                best_node = node
+        if best_node is None or distances[best_node] <= 0:
+            return set()
+        return {best_node}
+
+    return select
+
+
+def bulk_delete_selector(
+    kernel: QueryKernel,
+    query_ids: list[int],
+    threshold_offset: int = 1,
+    batch_limit: int | None = None,
+) -> VictimSelector:
+    """Algorithm 4's rule: every vertex at distance >= d - ``threshold_offset``.
+
+    ``d`` is the smallest graph query distance seen so far (per-run state,
+    captured in the closure exactly like ``BulkDeleteCTC`` resets it per
+    search); a finite ``batch_limit`` keeps only the vertices ranked
+    farthest by ``(distance, repr rank)``, the dict path's tie-break.
+    """
+    del query_ids  # Algorithm 4's bulk set does not exclude query nodes.
+    repr_rank = kernel.repr_rank
+    best_seen = _INF
+
+    def select(distances: dict[int, float]) -> set[int]:
+        nonlocal best_seen
+        current = max(distances.values()) if distances else 0.0
+        if current <= 0:
+            return set()
+        if current < best_seen:
+            best_seen = current
+        threshold = best_seen - threshold_offset
+        if threshold <= 0:
+            return set()
+        victims = {node for node, distance in distances.items() if distance >= threshold}
+        if not victims:
+            return set()
+        if batch_limit is not None and len(victims) > batch_limit:
+            ranked = sorted(
+                victims,
+                key=lambda node: (distances[node], repr_rank[node]),
+                reverse=True,
+            )
+            victims = set(ranked[:batch_limit])
+        return victims
+
+    return select

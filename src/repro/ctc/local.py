@@ -43,6 +43,8 @@ from collections import deque
 from collections.abc import Hashable, Sequence
 
 from repro.ctc.bulk_delete import BulkDeleteCTC
+from repro.ctc.kernels import lctc_search as _kernel_lctc_search
+from repro.ctc.kernels import split_dispatch
 from repro.ctc.result import CommunityResult
 from repro.ctc.steiner import build_truss_steiner_tree, minimum_trussness_of_tree
 from repro.exceptions import NoCommunityFoundError
@@ -67,7 +69,10 @@ class LocalCTC:
     Parameters
     ----------
     index:
-        Truss index over the full graph.
+        Truss index over the full graph, or an
+        :class:`~repro.engine.EngineSnapshot` (the search then runs on the
+        snapshot's CSR-native kernels — see :mod:`repro.ctc.kernels` —
+        with identical results).
     eta:
         Node-count budget for the local expansion (``|V(Gt)| <= eta``).
     gamma:
@@ -91,7 +96,7 @@ class LocalCTC:
             raise ValueError(f"eta must be positive, got {eta}")
         if gamma < 0:
             raise ValueError(f"gamma must be non-negative, got {gamma}")
-        self._index = index
+        self._kernel, self._index = split_dispatch(index)
         self._eta = eta
         self._gamma = gamma
         self._max_trussness_k = max_trussness_k
@@ -99,6 +104,14 @@ class LocalCTC:
     # ------------------------------------------------------------------
     def search(self, query: Sequence[Hashable]) -> CommunityResult:
         """Run LCTC for ``query`` and return the community found."""
+        if self._kernel is not None:
+            return _kernel_lctc_search(
+                self._kernel,
+                query,
+                eta=self._eta,
+                gamma=self._gamma,
+                max_trussness_k=self._max_trussness_k,
+            )
         start_time = time.perf_counter()
         graph = self._index.graph
         query_nodes = tuple(validate_query(graph, query))

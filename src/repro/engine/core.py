@@ -11,8 +11,11 @@ time.
 arXiv:2103.00798): one **mutable store** (an
 :class:`~repro.graph.simple_graph.UndirectedGraph`) absorbs updates, while
 every analytical query is served from a **frozen snapshot** of that store —
-a :class:`~repro.graph.csr.CSRGraph` plus a :class:`TrussIndex` whose
-decomposition ran on the CSR fast path.
+a :class:`~repro.graph.csr.CSRGraph` plus the per-edge trussness array its
+CSR-fast-path decomposition produced.  Queries execute on the snapshot's
+CSR-native kernels (:mod:`repro.ctc.kernels`) by default; the dict-path
+:class:`TrussIndex` is derived lazily for consumers that ask for it
+(``kernel="dict"``, direct ``snapshot().index`` access).
 
 Delta propagation / rebuild policy
 ----------------------------------
@@ -63,7 +66,8 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from collections.abc import Hashable, Iterable, Sequence
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -76,6 +80,9 @@ from repro.trusses.csr_decomposition import csr_truss_decomposition
 from repro.trusses.incremental import incremental_truss_update
 from repro.trusses.index import TrussIndex
 from repro.trusses.maintenance import KTrussMaintainer
+
+if TYPE_CHECKING:
+    from repro.ctc.kernels import QueryKernel
 
 __all__ = ["CTCEngine", "EngineSnapshot", "EngineStats"]
 
@@ -90,31 +97,74 @@ DEFAULT_DELTA_THRESHOLD = 0.25
 DEFAULT_DELTA_LOG_LIMIT = 128
 
 
-@dataclass(frozen=True)
 class EngineSnapshot:
-    """One frozen, fully-indexed version of the engine's store.
+    """One frozen version of the engine's store, indexed on demand.
 
-    Attributes
-    ----------
-    version:
-        The store version this snapshot was built from.
-    graph:
-        A private frozen copy of the store at that version (never mutated).
-    csr:
-        The CSR form of ``graph`` (the read replica the decomposition ran on).
-    index:
-        A :class:`TrussIndex` over ``graph``, built from the CSR-path
-        decomposition.
-    trussness:
-        The per-edge-id trussness array over ``csr`` — the raw form the
-        incremental maintenance of the *next* delta apply consumes.
+    The eagerly built attributes are the array replica — ``graph`` (a
+    private frozen copy, never mutated), ``csr`` (its CSR form) and
+    ``trussness`` (the per-edge-id trussness array the incremental
+    maintenance of the *next* delta apply consumes).  Everything derived
+    for query execution is **lazy**:
+
+    * :attr:`kernel` — the :class:`~repro.ctc.kernels.QueryKernel` the
+      CSR-native query path runs on, memoized so its sorted-adjacency
+      arrays amortize across every query on this version;
+    * :attr:`index` — the dict-path :class:`TrussIndex`, built (together
+      with its O(m) canonical-edge-key trussness dict) only when a
+      dict-path consumer first asks for it.  A snapshot serving only
+      CSR-native queries never pays for it.
+
+    Once built, either structure is cached and — like the snapshot itself —
+    immutable by contract.
     """
 
-    version: int
-    graph: UndirectedGraph
-    csr: CSRGraph
-    index: TrussIndex
-    trussness: np.ndarray
+    __slots__ = ("version", "graph", "csr", "trussness", "_index", "_kernel")
+
+    def __init__(
+        self,
+        version: int,
+        graph: UndirectedGraph,
+        csr: CSRGraph,
+        trussness: np.ndarray,
+        index: TrussIndex | None = None,
+    ) -> None:
+        self.version = version
+        self.graph = graph
+        self.csr = csr
+        self.trussness = trussness
+        self._index = index
+        self._kernel: "QueryKernel | None" = None
+
+    @property
+    def index(self) -> TrussIndex:
+        """The dict-path :class:`TrussIndex`, built lazily on first access."""
+        if self._index is None:
+            edge_trussness = {
+                self.csr.edge_key_of(edge): int(self.trussness[edge])
+                for edge in range(self.csr.number_of_edges())
+            }
+            self._index = TrussIndex(self.graph, edge_trussness=edge_trussness)
+        return self._index
+
+    def has_index(self) -> bool:
+        """Return ``True`` if the dict-path index has already been built."""
+        return self._index is not None
+
+    @property
+    def kernel(self) -> "QueryKernel":
+        """The CSR-native :class:`QueryKernel`, built lazily on first access."""
+        if self._kernel is None:
+            from repro.ctc.kernels import QueryKernel
+
+            self._kernel = QueryKernel(self.csr, self.trussness)
+        return self._kernel
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(version={self.version}, "
+            f"nodes={self.csr.number_of_nodes()}, "
+            f"edges={self.csr.number_of_edges()})"
+        )
 
 
 @dataclass
@@ -409,18 +459,16 @@ class CTCEngine:
         return None
 
     def _build_full(self, version: int) -> EngineSnapshot:
-        """Freeze the store and index it from scratch (the seed path)."""
+        """Freeze the store and decompose it from scratch (the seed path).
+
+        The dict-path :class:`TrussIndex` (and its O(m) canonical-edge-key
+        trussness dict) is *not* built here — :attr:`EngineSnapshot.index`
+        materializes it on first dict-path access.
+        """
         frozen = self._graph.copy()
         csr = CSRGraph.from_graph(frozen)
         trussness = csr_truss_decomposition(csr)
-        edge_trussness = {
-            csr.edge_key_of(edge): int(trussness[edge])
-            for edge in range(csr.number_of_edges())
-        }
-        index = TrussIndex(frozen, edge_trussness=edge_trussness)
-        return EngineSnapshot(
-            version=version, graph=frozen, csr=csr, index=index, trussness=trussness
-        )
+        return EngineSnapshot(version=version, graph=frozen, csr=csr, trussness=trussness)
 
     def _build_from_delta(
         self, base: EngineSnapshot, delta: GraphDelta, version: int
@@ -428,8 +476,17 @@ class CTCEngine:
         """Patch ``base`` with ``delta``: the incremental leg of the pipeline."""
         if delta.is_empty():
             # Mutations cancelled out (e.g. an edge removed and re-added):
-            # the base snapshot's content is exactly current.
-            return replace(base, version=version)
+            # the base snapshot's content is exactly current, so every
+            # derived structure (index, kernel) can be shared as-is.
+            clone = EngineSnapshot(
+                version=version,
+                graph=base.graph,
+                csr=base.csr,
+                trussness=base.trussness,
+                index=base._index,
+            )
+            clone._kernel = base._kernel
+            return clone
 
         frozen = base.graph.copy()
         for node in delta.added_nodes:
@@ -445,22 +502,26 @@ class CTCEngine:
         trussness, changed = incremental_truss_update(base.csr, base.trussness, patch)
         csr = patch.csr
 
-        trussness_updates: dict = {}
-        touched_nodes = delta.touched_labels() - delta.removed_nodes
-        for edge in changed.tolist():
-            trussness_updates[csr.edge_key_of(edge)] = int(trussness[edge])
-            u, v = csr.edge_endpoint_ids(edge)
-            touched_nodes.add(csr.node_label(u))
-            touched_nodes.add(csr.node_label(v))
-        index = base.index.patched(
-            frozen,
-            trussness_updates=trussness_updates,
-            dropped_edges=delta.removed_edges,
-            dropped_nodes=delta.removed_nodes,
-            touched_nodes=touched_nodes,
-        )
+        index: TrussIndex | None = None
+        if base.has_index():
+            # The base version served dict-path consumers, so keep the
+            # patched index warm; otherwise stay lazy and skip the work.
+            trussness_updates: dict = {}
+            touched_nodes = delta.touched_labels() - delta.removed_nodes
+            for edge in changed.tolist():
+                trussness_updates[csr.edge_key_of(edge)] = int(trussness[edge])
+                u, v = csr.edge_endpoint_ids(edge)
+                touched_nodes.add(csr.node_label(u))
+                touched_nodes.add(csr.node_label(v))
+            index = base.index.patched(
+                frozen,
+                trussness_updates=trussness_updates,
+                dropped_edges=delta.removed_edges,
+                dropped_nodes=delta.removed_nodes,
+                touched_nodes=touched_nodes,
+            )
         return EngineSnapshot(
-            version=version, graph=frozen, csr=csr, index=index, trussness=trussness
+            version=version, graph=frozen, csr=csr, trussness=trussness, index=index
         )
 
     def cached_versions(self) -> list[int]:
@@ -482,34 +543,44 @@ class CTCEngine:
         self,
         query: Sequence[Hashable],
         method: str = "lctc",
+        *,
+        kernel: str = "csr",
         **kwargs,
     ) -> CommunityResult:
         """Answer one CTC/baseline query from the current snapshot.
 
         ``method`` and keyword arguments are those of
-        :func:`repro.ctc.api.search`; the snapshot's prebuilt index is
-        passed, so no per-query decomposition happens.
+        :func:`repro.ctc.api.search`.  ``kernel`` selects the execution
+        path: ``"csr"`` (default) runs the CTC methods on the snapshot's
+        array kernels, ``"dict"`` forces the classic dict path through the
+        snapshot's (lazily built) :class:`TrussIndex`.  Either way no
+        per-query decomposition happens.
         """
         from repro.ctc.api import search
 
-        return search(self.snapshot().index, query, method=method, **kwargs)
+        return search(self.snapshot(), query, method=method, kernel=kernel, **kwargs)
 
     def query_batch(
         self,
         queries: Iterable[Sequence[Hashable]],
         method: str = "lctc",
+        *,
+        kernel: str = "csr",
         **kwargs,
     ) -> list[CommunityResult]:
         """Answer many queries against one pinned snapshot.
 
         The snapshot is resolved once up front, so every query in the batch
         sees the same graph version even if another thread of control
-        mutates the store mid-batch.
+        mutates the store mid-batch.  ``kernel`` is as in :meth:`query`.
         """
         from repro.ctc.api import search
 
-        index = self.snapshot().index
-        return [search(index, query, method=method, **kwargs) for query in queries]
+        snapshot = self.snapshot()
+        return [
+            search(snapshot, query, method=method, kernel=kernel, **kwargs)
+            for query in queries
+        ]
 
     def __repr__(self) -> str:
         return (

@@ -42,7 +42,31 @@ from repro.graph.delta import GraphDelta
 from repro.graph.keys import EdgeKey, edge_key
 from repro.graph.simple_graph import UndirectedGraph
 
-__all__ = ["CSRGraph", "CSRPatch"]
+__all__ = ["CSRGraph", "CSRPatch", "CSRSubgraph"]
+
+
+@dataclass(frozen=True)
+class CSRSubgraph:
+    """The result of :meth:`CSRGraph.edge_subgraph`.
+
+    The sub-snapshot uses its own dense ids; the two origin arrays map them
+    back to the parent snapshot, which is how the CSR-native LCTC kernel
+    (:mod:`repro.ctc.kernels`) translates communities found on a locally
+    decomposed expansion back into parent-graph terms.
+
+    Attributes
+    ----------
+    csr:
+        The extracted snapshot (node labels shared with the parent).
+    node_origin:
+        ``int64`` array; entry ``i`` is the parent node id of sub node ``i``.
+    edge_origin:
+        ``int64`` array; entry ``e`` is the parent edge id of sub edge ``e``.
+    """
+
+    csr: "CSRGraph"
+    node_origin: np.ndarray
+    edge_origin: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -335,7 +359,9 @@ class CSRGraph:
         row_of_slot = np.repeat(np.arange(num_new_nodes, dtype=np.int64), new_degrees)
         low = np.minimum(row_of_slot, new_indices)
         high = np.maximum(row_of_slot, new_indices)
-        order = np.lexsort((high, low))
+        # Composite-key argsort, equivalent to np.lexsort((high, low)) but
+        # one sorting pass (both keys are node ids < num_new_nodes).
+        order = np.argsort(low * (num_new_nodes + 1) + high, kind="stable")
         if total_slots % 2:
             raise GraphError("delta produced an asymmetric adjacency structure")
         new_slot_edge = np.empty(total_slots, dtype=np.int64)
@@ -461,6 +487,67 @@ class CSRGraph:
             else:
                 row = np.asarray(sorted(insert_neighbors.get(node, [])), dtype=np.int64)
             new_indices[new_indptr[node]:new_indptr[node + 1]] = row
+
+    # ------------------------------------------------------------------
+    # subgraph extraction
+    # ------------------------------------------------------------------
+    def edge_subgraph(
+        self,
+        edge_ids: np.ndarray | list[int],
+        include_node_ids: np.ndarray | list[int] = (),
+    ) -> CSRSubgraph:
+        """Return the sub-snapshot induced by ``edge_ids`` (plus isolated nodes).
+
+        The node set is every endpoint of the selected edges, union
+        ``include_node_ids`` (which lets callers keep nodes that lost all
+        their edges — e.g. a single-terminal Steiner tree).  Duplicate ids
+        are tolerated.  The whole extraction is vectorized: because the
+        node remap is monotonic and parent edge ids are row-major, sub edge
+        ``e`` simply corresponds to the ``e``-th smallest selected parent
+        edge id, and every adjacency row stays sorted after remapping.
+
+        Raises
+        ------
+        GraphError
+            If an edge or node id is out of range.
+        """
+        edges = np.unique(np.asarray(edge_ids, dtype=np.int64))
+        if edges.size and (edges[0] < 0 or edges[-1] >= self.number_of_edges()):
+            raise GraphError("edge id out of range in edge_subgraph")
+        extra = np.unique(np.asarray(include_node_ids, dtype=np.int64))
+        if extra.size and (extra[0] < 0 or extra[-1] >= self.number_of_nodes()):
+            raise GraphError("node id out of range in edge_subgraph")
+
+        old_u = self.edge_u[edges]
+        old_v = self.edge_v[edges]
+        node_origin = np.unique(np.concatenate([old_u, old_v, extra]))
+        num_nodes = int(node_origin.size)
+        remap = np.full(self.number_of_nodes(), -1, dtype=np.int64)
+        remap[node_origin] = np.arange(num_nodes, dtype=np.int64)
+        new_u = remap[old_u]
+        new_v = remap[old_v]
+
+        num_edges = int(edges.size)
+        rows = np.concatenate([new_u, new_v])
+        neighbors = np.concatenate([new_v, new_u])
+        slot_ids = np.concatenate([np.arange(num_edges, dtype=np.int64)] * 2)
+        # Composite-key argsort, equivalent to np.lexsort((neighbors, rows)).
+        order = np.argsort(rows * (num_nodes + 1) + neighbors, kind="stable")
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=num_nodes), out=indptr[1:])
+
+        labels = [self._labels[old_id] for old_id in node_origin.tolist()]
+        ids = {label: position for position, label in enumerate(labels)}
+        sub = CSRGraph(
+            indptr=indptr,
+            indices=neighbors[order],
+            slot_edge=slot_ids[order],
+            edge_u=new_u,
+            edge_v=new_v,
+            labels=labels,
+            ids=ids,
+        )
+        return CSRSubgraph(csr=sub, node_origin=node_origin, edge_origin=edges)
 
     # ------------------------------------------------------------------
     # counts

@@ -1,0 +1,200 @@
+"""Property-based equivalence: CSR-native kernels == the dict-path algorithms.
+
+The acceptance contract of the kernel layer (:mod:`repro.ctc.kernels`) is
+that for any graph and any query, running Basic, BulkDelete, LCTC or the
+Truss baseline on an :class:`EngineSnapshot`'s arrays returns *exactly* the
+community the dict-path classes return — same node set, same edge set, same
+trussness, same query distance, same diameter, same iteration count, and
+the same ``NoCommunityFoundError`` / ``QueryError`` outcomes — so the
+engine's ``kernel`` knob is purely a performance decision.  (Extends the
+``tests/trusses/test_delta_equivalence.py`` pattern from snapshot
+maintenance to query execution.)
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ctc.api import search
+from repro.ctc.basic import BasicCTC
+from repro.ctc.bulk_delete import BulkDeleteCTC
+from repro.ctc.kernels import QueryKernel, kernel_of
+from repro.engine import CTCEngine
+from repro.exceptions import NoCommunityFoundError, QueryError
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_graph,
+    relaxed_caveman_graph,
+)
+from repro.trusses.index import TrussIndex
+
+common_settings = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: Method matrix: (method name, search() keyword arguments).
+METHODS = (
+    ("basic", {}),
+    ("bulk-delete", {}),
+    ("lctc", {"eta": 6}),
+    ("lctc", {"eta": 40, "gamma": 0.0}),
+    ("lctc", {"eta": 40, "max_trussness_k": 3}),
+    ("truss", {}),
+)
+
+
+@st.composite
+def graphs_and_queries(draw):
+    """Random graphs plus a small stream of random queries against them."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    kind = draw(st.sampled_from(["er", "caveman", "complete"]))
+    if kind == "er":
+        graph = erdos_renyi_graph(
+            draw(st.integers(min_value=4, max_value=24)),
+            draw(st.floats(min_value=0.15, max_value=0.7)),
+            seed=seed,
+        )
+    elif kind == "caveman":
+        graph = relaxed_caveman_graph(
+            draw(st.integers(min_value=2, max_value=4)),
+            draw(st.integers(min_value=3, max_value=6)),
+            draw(st.floats(min_value=0.0, max_value=0.4)),
+            seed=seed,
+        )
+    else:
+        graph = complete_graph(draw(st.integers(min_value=3, max_value=8)))
+    if draw(st.booleans()):
+        graph.add_node("isolated")  # exercises the vertex-trussness < 2 paths
+    nodes = sorted(graph.nodes(), key=repr)
+    queries = draw(
+        st.lists(
+            st.lists(
+                st.sampled_from(nodes), min_size=1, max_size=4, unique=True
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return graph, queries
+
+
+def outcome(target, query, method, **kwargs):
+    """Run one search, normalizing result/exception into a comparable value."""
+    try:
+        result = search(target, query, method=method, **kwargs)
+    except (NoCommunityFoundError, QueryError) as exc:
+        return (type(exc).__name__, str(exc))
+    return {
+        "nodes": frozenset(result.nodes),
+        "edges": frozenset(result.graph.edges()),
+        "trussness": result.trussness,
+        "query_distance": result.query_distance,
+        "diameter": result.diameter(),
+        "iterations": result.iterations,
+        "query": result.query,
+        "extras": {
+            key: value
+            for key, value in result.extras.items()
+            if key != "timed_out"  # timing-dependent by design
+        },
+    }
+
+
+class TestKernelEquivalence:
+    @common_settings
+    @given(data=graphs_and_queries())
+    def test_kernels_match_dict_path(self, data):
+        """Every method, every query: snapshot kernels == dict-path search."""
+        graph, queries = data
+        index = TrussIndex(graph)
+        snapshot = CTCEngine(graph).snapshot()
+        for query in queries:
+            for method, kwargs in METHODS:
+                expected = outcome(index, query, method, **kwargs)
+                actual = outcome(snapshot, query, method, **kwargs)
+                assert actual == expected, (method, query, kwargs)
+        # The kernel path never needs the dict index.
+        assert not snapshot.has_index()
+
+    @common_settings
+    @given(data=graphs_and_queries())
+    def test_kernel_dict_knob_is_pure_performance(self, data):
+        """kernel='csr' and kernel='dict' agree through the engine facade."""
+        graph, queries = data
+        engine = CTCEngine(graph)
+        for query in queries[:2]:
+            via_csr = outcome(engine, query, "lctc", eta=10, kernel="csr")
+            via_dict = outcome(engine, query, "lctc", eta=10, kernel="dict")
+            assert via_csr == via_dict
+
+
+class TestBulkDeleteKnobs:
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        threshold_offset=st.sampled_from([0, 1]),
+        batch_limit=st.sampled_from([None, 1, 3]),
+    )
+    def test_class_level_knobs_match(self, seed, threshold_offset, batch_limit):
+        """threshold_offset / batch_limit behave identically on both paths."""
+        graph = erdos_renyi_graph(18, 0.4, seed=seed)
+        index = TrussIndex(graph)
+        snapshot = CTCEngine(graph).snapshot()
+        query = sorted(graph.nodes())[:2]
+        via_dict = BulkDeleteCTC(
+            index, threshold_offset=threshold_offset, batch_limit=batch_limit
+        ).search(query)
+        via_kernel = BulkDeleteCTC(
+            snapshot, threshold_offset=threshold_offset, batch_limit=batch_limit
+        ).search(query)
+        assert via_kernel.nodes == via_dict.nodes
+        assert set(via_kernel.graph.edges()) == set(via_dict.graph.edges())
+        assert via_kernel.trussness == via_dict.trussness
+        assert via_kernel.iterations == via_dict.iterations
+
+
+class TestKernelDetails:
+    def test_max_iterations_parity(self):
+        graph = erdos_renyi_graph(20, 0.4, seed=42)
+        index = TrussIndex(graph)
+        snapshot = CTCEngine(graph).snapshot()
+        for cap in (0, 1, 2):
+            via_dict = BasicCTC(index, max_iterations=cap).search([0, 1])
+            via_kernel = BasicCTC(snapshot, max_iterations=cap).search([0, 1])
+            assert via_kernel.nodes == via_dict.nodes
+            assert via_kernel.iterations == via_dict.iterations <= cap
+
+    def test_time_budget_reports_timed_out_flag(self):
+        snapshot = CTCEngine(erdos_renyi_graph(20, 0.4, seed=1)).snapshot()
+        result = BasicCTC(snapshot, time_budget_seconds=1e9).search([0, 1])
+        assert result.extras["timed_out"] is False
+        exhausted = BasicCTC(snapshot, time_budget_seconds=0.0).search([0, 1])
+        assert exhausted.extras["timed_out"] is True
+        assert exhausted.contains_query()
+
+    def test_unknown_kernel_rejected(self):
+        engine = CTCEngine(complete_graph(4))
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            search(engine, [0], method="lctc", kernel="simd")
+
+    def test_kernel_of_dispatch_seam(self):
+        graph = complete_graph(5)
+        snapshot = CTCEngine(graph).snapshot()
+        assert isinstance(kernel_of(snapshot), QueryKernel)
+        assert kernel_of(TrussIndex(graph)) is None
+        assert kernel_of(graph) is None
+        kernel = snapshot.kernel
+        assert kernel_of(kernel) is kernel
+
+    def test_baselines_route_through_snapshot_graph(self):
+        graph = erdos_renyi_graph(15, 0.4, seed=9)
+        snapshot = CTCEngine(graph).snapshot()
+        for method in ("mdc", "qdc"):
+            via_snapshot = search(snapshot, [0, 1], method=method)
+            direct = search(graph, [0, 1], method=method)
+            assert via_snapshot.nodes == direct.nodes
+        # Baselines read snapshot.graph directly; no dict index is forced.
+        assert not snapshot.has_index()

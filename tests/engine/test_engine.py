@@ -249,6 +249,63 @@ class TestHookAtomicity:
         assert engine.version > 0
 
 
+class TestLazyIndex:
+    def test_snapshot_builds_without_dict_index(self, engine):
+        """_build_full must not pay the O(m) edge-trussness dict build."""
+        snapshot = engine.snapshot()
+        assert not snapshot.has_index()
+
+    def test_kernel_queries_keep_index_lazy(self, engine):
+        engine.query([0, 1], method="lctc", eta=20)
+        engine.query([2, 3], method="bulk-delete")
+        assert not engine.snapshot().has_index()
+
+    def test_dict_path_access_builds_and_caches(self, engine):
+        snapshot = engine.snapshot()
+        index = snapshot.index
+        assert snapshot.has_index()
+        assert snapshot.index is index  # memoized, not rebuilt
+        oracle = CTCEngine(engine.graph, delta_threshold=0).snapshot()
+        assert index.all_edge_trussness() == oracle.index.all_edge_trussness()
+        assert index.all_vertex_trussness() == oracle.index.all_vertex_trussness()
+
+    def test_dict_kernel_queries_build_index(self, engine):
+        engine.query([0, 1], method="lctc", eta=20, kernel="dict")
+        assert engine.snapshot().has_index()
+
+    def test_delta_path_stays_lazy_when_base_unbuilt(self, engine):
+        engine.snapshot()
+        engine.add_edge(990, 991)
+        patched = engine.snapshot()
+        assert engine.stats.delta_applies == 1
+        assert not patched.has_index()
+
+    def test_delta_path_patches_index_when_base_built(self, engine):
+        base = engine.snapshot()
+        _ = base.index  # dict-path consumer warmed the base index
+        engine.add_edge(990, 991)
+        patched = engine.snapshot()
+        assert engine.stats.delta_applies == 1
+        assert patched.has_index()
+        oracle = CTCEngine(engine.graph, delta_threshold=0).snapshot()
+        assert patched.index.all_edge_trussness() == oracle.index.all_edge_trussness()
+
+    def test_cancelling_delta_shares_built_structures(self, engine):
+        first = engine.snapshot()
+        index = first.index
+        kernel = first.kernel
+        edge = sorted(engine.graph.edges())[0]
+        engine.remove_edge(*edge)
+        engine.add_edge(*edge)
+        second = engine.snapshot()
+        assert second._index is index
+        assert second.kernel is kernel
+
+    def test_kernel_is_memoized_per_snapshot(self, engine):
+        snapshot = engine.snapshot()
+        assert snapshot.kernel is snapshot.kernel
+
+
 class TestCorrectness:
     def test_engine_results_match_direct_search(self, engine):
         for query in ([0, 1], [5, 9], [2]):

@@ -170,3 +170,53 @@ class TestApplyDeltaValidation:
             origin = int(patch.edge_origin[e])
             assert origin >= 0
             assert new.edge_key_of(e) == csr.edge_key_of(origin)
+
+
+class TestEdgeSubgraph:
+    def test_matches_from_graph_of_thawed_subset(self):
+        import numpy as np
+
+        graph = erdos_renyi_graph(18, 0.4, seed=5)
+        csr = CSRGraph.from_graph(graph)
+        subset = [e for e in range(csr.number_of_edges()) if e % 3 != 0]
+        sub = csr.edge_subgraph(subset)
+        expected_graph = UndirectedGraph()
+        for e in subset:
+            u, v = csr.edge_endpoint_ids(e)
+            expected_graph.add_edge(csr.node_label(u), csr.node_label(v))
+        expected = CSRGraph.from_graph(expected_graph)
+        assert sub.csr.labels() == expected.labels()
+        for name in ("indptr", "indices", "slot_edge", "edge_u", "edge_v"):
+            assert np.array_equal(getattr(sub.csr, name), getattr(expected, name)), name
+
+    def test_origin_arrays_map_back_to_parent(self):
+        csr = CSRGraph.from_graph(complete_graph(5))
+        sub = csr.edge_subgraph([0, 4, 7])
+        for new_edge, old_edge in enumerate(sub.edge_origin.tolist()):
+            assert sub.csr.edge_key_of(new_edge) == csr.edge_key_of(old_edge)
+        for new_node, old_node in enumerate(sub.node_origin.tolist()):
+            assert sub.csr.node_label(new_node) == csr.node_label(old_node)
+
+    def test_include_node_ids_keeps_isolated_nodes(self):
+        csr = CSRGraph.from_graph(complete_graph(4))
+        sub = csr.edge_subgraph([0], include_node_ids=[3])
+        assert sub.csr.number_of_edges() == 1
+        assert csr.node_label(3) in sub.csr
+        assert sub.csr.degree(sub.csr.node_id(csr.node_label(3))) == 0
+
+    def test_empty_edge_set(self):
+        csr = CSRGraph.from_graph(complete_graph(3))
+        sub = csr.edge_subgraph([])
+        assert sub.csr.number_of_nodes() == 0
+        assert sub.csr.number_of_edges() == 0
+
+    def test_duplicate_ids_tolerated(self):
+        csr = CSRGraph.from_graph(complete_graph(4))
+        assert csr.edge_subgraph([1, 1, 2, 2]).csr.number_of_edges() == 2
+
+    def test_out_of_range_rejected(self):
+        csr = CSRGraph.from_graph(complete_graph(3))
+        with pytest.raises(GraphError):
+            csr.edge_subgraph([99])
+        with pytest.raises(GraphError):
+            csr.edge_subgraph([0], include_node_ids=[99])

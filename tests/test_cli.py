@@ -71,6 +71,30 @@ class TestSearchCommand:
         with pytest.raises(SystemExit):
             main(["search", figure1_file, "--query", "q1", "--mutate-every", "2"])
 
+    def test_csr_kernel_requires_engine(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["search", figure1_file, "--query", "q1", "--kernel", "csr"])
+
+    def test_engine_defaults_to_csr_kernel(self, figure1_file, capsys):
+        exit_code = main(
+            ["search", figure1_file, "--query", "q1", "q2", "--method", "lctc",
+             "--eta", "50", "--engine", "--repeat", "3"]
+        )
+        assert exit_code == 0
+        assert "kernel:        csr" in capsys.readouterr().out
+
+    def test_dict_kernel_same_community(self, figure1_file, capsys):
+        main(["search", figure1_file, "--query", "q1", "q2", "q3", "--method", "lctc",
+              "--eta", "50", "--engine"])
+        csr_out = capsys.readouterr().out
+        main(["search", figure1_file, "--query", "q1", "q2", "q3", "--method", "lctc",
+              "--eta", "50", "--engine", "--kernel", "dict"])
+        dict_out = capsys.readouterr().out
+        assert "kernel:        dict" in dict_out
+        assert csr_out.split("members:")[1].split("kernel:")[0] == (
+            dict_out.split("members:")[1].split("kernel:")[0]
+        )
+
     def test_mixed_workload_mode_reports_delta_applies(self, figure1_file, capsys):
         exit_code = main(
             [
