@@ -1,0 +1,171 @@
+"""Full-rebuild decomposition throughput: vector peel vs sequential bucket queue.
+
+Every cold start, every over-threshold delta rebuild and every engine cache
+miss pays one full ``csr_decompose`` pass, so this benchmark tracks the
+rebuild pipeline head-to-head: the PR-1 sequential bucket-queue peel
+(``method="bucket"``) against the vectorized triangle enumeration +
+level-synchronous peel (``method="vector"``,
+:mod:`repro.graph.csr_triangles` + :mod:`repro.trusses.csr_decomposition`).
+
+``test_rebuild_speedup_at_least_3x`` is the acceptance gate for this PR's
+tentpole: the vector strategy must deliver at least 3x the bucket queue's
+rebuilds/sec on the rebuild-scale dblp-like graph.  The property suite
+(``tests/trusses/test_csr_equivalence.py``) proves both strategies return
+bit-identical trussness arrays, so the gate measures a pure execution-layer
+win.
+
+The gate graph is the registry's ``dblp-like`` recipe at 8x scale (~50k
+edges): the registry instance itself (1.5k nodes) is sized for the
+whole-experiment suite and sits near the vector/bucket crossover, while the
+real DBLP of Table 2 has 317k nodes — rebuild cost is precisely the regime
+where size matters, so the gate measures where rebuilds hurt.  Both scales
+are reported, and ``test_rebuild_json_artifact`` writes the measurements to
+a JSON trajectory file (``BENCH_REBUILD_JSON`` env var, default
+``BENCH_rebuild.json``); the checked-in snapshot at the repo root lets
+future PRs diff rebuild throughput.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_full_rebuild.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.datasets.synthetic import CommunityProfile, generate_community_network
+from repro.graph.csr import CSRGraph
+from repro.trusses.csr_decomposition import csr_decompose
+
+#: Scale factor of the gate graph relative to the registry's dblp-like.
+REBUILD_SCALE = 8
+
+#: Timed repetitions per (graph, strategy) pair; medians are reported.
+REPS = 5
+
+#: The tentpole acceptance gate: vector >= this multiple of bucket.
+TARGET_SPEEDUP = 3.0
+
+
+def _rebuild_scale_dblp() -> CSRGraph:
+    """The registry's dblp-like recipe at :data:`REBUILD_SCALE` x size.
+
+    Same community profile mix and per-community densities as
+    ``load_dataset("dblp-like")`` — only the node budget and community
+    counts scale, and the background density scales down to keep the
+    average degree flat (the registry recipe is documented in
+    :mod:`repro.datasets.registry`).
+    """
+    network = generate_community_network(
+        name=f"dblp-like-x{REBUILD_SCALE}",
+        num_nodes=1500 * REBUILD_SCALE,
+        profiles=[
+            CommunityProfile(count=3 * REBUILD_SCALE, size_range=(20, 26), p_in=0.97),
+            CommunityProfile(count=30 * REBUILD_SCALE, size_range=(12, 25), p_in=0.65),
+            CommunityProfile(count=60 * REBUILD_SCALE, size_range=(5, 10), p_in=0.85),
+        ],
+        overlap_fraction=0.15,
+        background_density=0.0008 / REBUILD_SCALE,
+        seed=33,
+    )
+    return CSRGraph.from_graph(network.graph)
+
+
+@pytest.fixture(scope="module")
+def gate_csr() -> CSRGraph:
+    return _rebuild_scale_dblp()
+
+
+@pytest.fixture(scope="module")
+def registry_csr() -> CSRGraph:
+    return CSRGraph.from_graph(load_dataset("dblp-like").graph)
+
+
+def _median_seconds(csr: CSRGraph, method: str, reps: int = REPS) -> float:
+    csr_decompose(csr, method=method)  # warm-up outside timing
+    samples = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        csr_decompose(csr, method=method)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def test_bench_bucket_rebuild(benchmark, gate_csr):
+    """Sequential bucket-queue decomposition (the PR-1 path)."""
+    result = benchmark.pedantic(
+        csr_decompose, args=(gate_csr,), kwargs={"method": "bucket"}, rounds=1, iterations=1
+    )
+    assert result.method == "bucket"
+    assert result.trussness.shape == (gate_csr.number_of_edges(),)
+
+
+def test_bench_vector_rebuild(benchmark, gate_csr):
+    """Vectorized enumeration + level-synchronous peel, proven bit-identical."""
+    result = benchmark.pedantic(
+        csr_decompose, args=(gate_csr,), kwargs={"method": "vector"}, rounds=1, iterations=1
+    )
+    assert result.method == "vector"
+    assert result.incidence is not None
+    assert np.array_equal(
+        result.trussness, csr_decompose(gate_csr, method="bucket").trussness
+    )
+
+
+def test_rebuild_json_artifact(gate_csr, registry_csr):
+    """Measure both strategies at both scales and write the JSON trajectory."""
+    rows = []
+    for scale, csr in ((1, registry_csr), (REBUILD_SCALE, gate_csr)):
+        bucket = _median_seconds(csr, "bucket")
+        vector = _median_seconds(csr, "vector")
+        rows.append(
+            {
+                "scale": scale,
+                "nodes": csr.number_of_nodes(),
+                "edges": csr.number_of_edges(),
+                "bucket_ms": round(bucket * 1000, 2),
+                "vector_ms": round(vector * 1000, 2),
+                "speedup": round(bucket / vector, 2),
+            }
+        )
+    payload = {
+        "benchmark": "bench_full_rebuild",
+        "dataset": "dblp-like (registry recipe; gate at rebuild scale)",
+        "gate": {"scale": REBUILD_SCALE, "target_speedup": TARGET_SPEEDUP},
+        "rows": rows,
+    }
+    path = os.environ.get("BENCH_REBUILD_JSON", "BENCH_rebuild.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nrebuild trajectory -> {path}")
+    for row in rows:
+        print(
+            f"scale x{row['scale']}: {row['edges']} edges, "
+            f"bucket {row['bucket_ms']:.1f} ms, vector {row['vector_ms']:.1f} ms "
+            f"({row['speedup']:.2f}x)"
+        )
+    assert all(row["vector_ms"] > 0 and row["bucket_ms"] > 0 for row in rows)
+
+
+def test_rebuild_speedup_at_least_3x(gate_csr):
+    """Acceptance gate: vector rebuilds/sec >= 3x bucket on the gate graph."""
+    bucket = _median_seconds(gate_csr, "bucket")
+    vector = _median_seconds(gate_csr, "vector")
+    speedup = bucket / vector
+    print(
+        f"\nbucket: {bucket * 1000:8.1f} ms/rebuild ({1 / bucket:6.1f} rebuilds/sec)"
+        f"\nvector: {vector * 1000:8.1f} ms/rebuild ({1 / vector:6.1f} rebuilds/sec)"
+        f"\nspeedup: {speedup:7.2f}x"
+    )
+    assert speedup >= TARGET_SPEEDUP, (
+        f"vector decomposition ({vector * 1000:.1f} ms) is not >= {TARGET_SPEEDUP}x "
+        f"faster than the bucket queue ({bucket * 1000:.1f} ms): {speedup:.2f}x"
+    )

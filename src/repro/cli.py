@@ -26,7 +26,10 @@ delta path instead of full snapshot rebuilds).  ``--kernel`` picks the
 query execution path on engine snapshots: ``csr`` (the default with
 ``--engine``) runs the CTC methods on the array kernels of
 :mod:`repro.ctc.kernels`, ``dict`` forces the classic dict path; results
-are identical either way.
+are identical either way.  ``--decomp`` picks the full-rebuild
+decomposition strategy (``auto``/``vector``/``bucket`` — the
+level-synchronous vector peel or the sequential bucket queue; trussness is
+bit-identical either way).
 """
 
 from __future__ import annotations
@@ -97,6 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     search_parser.add_argument(
+        "--decomp",
+        choices=("auto", "vector", "bucket"),
+        default=None,
+        help=(
+            "full-rebuild decomposition strategy with --engine: 'auto' (default) "
+            "picks the level-synchronous vector peel or the sequential bucket "
+            "queue by snapshot size, 'vector'/'bucket' pin one; trussness is "
+            "bit-identical either way"
+        ),
+    )
+    search_parser.add_argument(
         "--repeat",
         type=int,
         default=1,
@@ -153,6 +167,8 @@ def _run_search(args: argparse.Namespace) -> int:
         raise SystemExit("--delta-threshold must be >= 0")
     if args.kernel == "csr" and not args.engine:
         raise SystemExit("--kernel csr requires --engine (the kernels run on engine snapshots)")
+    if args.decomp and not args.engine:
+        raise SystemExit("--decomp requires --engine (it picks the snapshot rebuild strategy)")
     kernel = args.kernel or ("csr" if args.engine else "dict")
     graph = read_edge_list(args.graph)
     if args.engine:
@@ -161,6 +177,7 @@ def _run_search(args: argparse.Namespace) -> int:
             copy=False,
             cache_size=args.cache_size,
             delta_threshold=args.delta_threshold,
+            decomp=args.decomp or "auto",
         )
     else:
         target = graph
@@ -195,6 +212,7 @@ def _run_search(args: argparse.Namespace) -> int:
     if args.engine:
         stats = target.stats
         print(f"kernel:        {kernel}")
+        print(f"decomp:        {target.decomp}")
         print(
             f"engine cache:  {stats.hits} hits, {stats.misses} misses "
             f"({stats.delta_applies} delta applies, {stats.full_rebuilds} full rebuilds)"

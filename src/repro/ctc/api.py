@@ -59,6 +59,7 @@ def build_engine(
     *,
     cache_size: int | None = None,
     delta_threshold: float | None = None,
+    decomp: str | None = None,
     copy: bool = True,
 ) -> "CTCEngine":
     """Build (and return) a :class:`~repro.engine.CTCEngine` over ``graph``.
@@ -77,6 +78,8 @@ def build_engine(
         kwargs["cache_size"] = cache_size
     if delta_threshold is not None:
         kwargs["delta_threshold"] = delta_threshold
+    if decomp is not None:
+        kwargs["decomp"] = decomp
     return CTCEngine(graph, **kwargs)
 
 

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.exceptions import QueryError
 from repro.graph.csr import CSRGraph
+from repro.graph.csr_triangles import TriangleIncidence
 
 __all__ = ["QueryKernel", "validate_query_ids"]
 
@@ -74,6 +75,12 @@ class QueryKernel:
         Per-edge-id trussness (``int64``, length ``csr.number_of_edges()``),
         as produced by
         :func:`~repro.trusses.csr_decomposition.csr_truss_decomposition`.
+    incidence:
+        Optional :class:`~repro.graph.csr_triangles.TriangleIncidence` of
+        the snapshot (shared by the engine when its full rebuild enumerated
+        one).  The LCTC kernel re-decomposes its local expansions on
+        restrictions of it instead of re-enumerating triangles; ``None``
+        falls back to per-subgraph decomposition with identical results.
 
     A ``QueryKernel`` is immutable-by-contract like the snapshot it wraps;
     :class:`~repro.engine.EngineSnapshot` memoizes one per snapshot so the
@@ -83,6 +90,7 @@ class QueryKernel:
     __slots__ = (
         "csr",
         "trussness",
+        "incidence",
         "_tau_list",
         "_flat",
         "_sorted",
@@ -94,9 +102,15 @@ class QueryKernel:
         "_edge_v_list",
     )
 
-    def __init__(self, csr: CSRGraph, trussness: np.ndarray) -> None:
+    def __init__(
+        self,
+        csr: CSRGraph,
+        trussness: np.ndarray,
+        incidence: TriangleIncidence | None = None,
+    ) -> None:
         self.csr = csr
         self.trussness = np.asarray(trussness, dtype=np.int64)
+        self.incidence = incidence
         if self.trussness.shape != (csr.number_of_edges(),):
             raise ValueError(
                 f"trussness must have one entry per edge "

@@ -28,8 +28,13 @@ from repro.ctc.kernels.peeling import (
 from repro.ctc.kernels.steiner import build_truss_steiner_tree, minimum_trussness_of_tree
 from repro.ctc.result import CommunityResult
 from repro.exceptions import NoCommunityFoundError
+from repro.graph.csr_triangles import subset_incidence
 from repro.graph.simple_graph import UndirectedGraph
-from repro.trusses.csr_decomposition import csr_truss_decomposition
+from repro.trusses.csr_decomposition import (
+    DEFAULT_VECTOR_THRESHOLD,
+    csr_truss_decomposition,
+    peel_incidence,
+)
 
 __all__ = ["basic_search", "bulk_delete_search", "lctc_search", "truss_search"]
 
@@ -166,7 +171,21 @@ def lctc_search(
     sub = kernel.csr.edge_subgraph(
         sorted(expanded_edges), include_node_ids=sorted(expanded_nodes)
     )
-    local_kernel = QueryKernel(sub.csr, csr_truss_decomposition(sub.csr))
+    if (
+        kernel.incidence is not None
+        and sub.csr.number_of_edges() >= DEFAULT_VECTOR_THRESHOLD
+    ):
+        # Reuse the snapshot's triangle enumeration: restrict its incidence
+        # arrays to the expansion (a local gather) and level-synchronously
+        # peel — bit-identical to decomposing the sub-snapshot from scratch.
+        # Tiny expansions skip the reuse for the same reason "auto" picks
+        # the bucket queue there: the sequential peel undercuts the fixed
+        # numpy costs below the threshold.
+        local_incidence = subset_incidence(kernel.incidence, sub.edge_origin)
+        local_trussness = peel_incidence(local_incidence)
+    else:
+        local_trussness = csr_truss_decomposition(sub.csr)
+    local_kernel = QueryKernel(sub.csr, local_trussness)
     node_origin = sub.node_origin.tolist()
     edge_origin = sub.edge_origin.tolist()
     local_id_of = {old: new for new, old in enumerate(node_origin)}

@@ -74,9 +74,10 @@ import numpy as np
 from repro.ctc.result import CommunityResult
 from repro.exceptions import StaleMaintainerError
 from repro.graph.csr import CSRGraph
+from repro.graph.csr_triangles import TriangleIncidence
 from repro.graph.delta import GraphDelta
 from repro.graph.simple_graph import UndirectedGraph
-from repro.trusses.csr_decomposition import csr_truss_decomposition
+from repro.trusses.csr_decomposition import csr_decompose, csr_edge_supports
 from repro.trusses.incremental import incremental_truss_update
 from repro.trusses.index import TrussIndex
 from repro.trusses.maintenance import KTrussMaintainer
@@ -112,13 +113,32 @@ class EngineSnapshot:
     * :attr:`index` — the dict-path :class:`TrussIndex`, built (together
       with its O(m) canonical-edge-key trussness dict) only when a
       dict-path consumer first asks for it.  A snapshot serving only
-      CSR-native queries never pays for it.
+      CSR-native queries never pays for it;
+    * :attr:`supports` — the per-edge-id triangle counts; a full rebuild
+      hands them over from the decomposition (which computes them anyway),
+      so consumers no longer re-count supports a second time.  Snapshots
+      produced by the delta path compute them on first access.
 
-    Once built, either structure is cached and — like the snapshot itself —
-    immutable by contract.
+    ``incidence`` is the triangle-incidence structure a vector-strategy full
+    rebuild enumerated (``None`` otherwise — it is shared, never recomputed):
+    the CSR-native LCTC kernel re-decomposes its local expansions on
+    restrictions of it, and the next delta apply seeds its deletion pass
+    from it.
+
+    Once built, every lazy structure is cached and — like the snapshot
+    itself — immutable by contract.
     """
 
-    __slots__ = ("version", "graph", "csr", "trussness", "_index", "_kernel")
+    __slots__ = (
+        "version",
+        "graph",
+        "csr",
+        "trussness",
+        "incidence",
+        "_supports",
+        "_index",
+        "_kernel",
+    )
 
     def __init__(
         self,
@@ -127,13 +147,28 @@ class EngineSnapshot:
         csr: CSRGraph,
         trussness: np.ndarray,
         index: TrussIndex | None = None,
+        *,
+        supports: np.ndarray | None = None,
+        incidence: TriangleIncidence | None = None,
     ) -> None:
         self.version = version
         self.graph = graph
         self.csr = csr
         self.trussness = trussness
+        self.incidence = incidence
+        self._supports = supports
         self._index = index
         self._kernel: "QueryKernel | None" = None
+
+    @property
+    def supports(self) -> np.ndarray:
+        """Per-edge-id triangle counts, shared from the build when available."""
+        if self._supports is None:
+            if self.incidence is not None:
+                self._supports = self.incidence.supports
+            else:
+                self._supports = csr_edge_supports(self.csr)
+        return self._supports
 
     @property
     def index(self) -> TrussIndex:
@@ -156,7 +191,7 @@ class EngineSnapshot:
         if self._kernel is None:
             from repro.ctc.kernels import QueryKernel
 
-            self._kernel = QueryKernel(self.csr, self.trussness)
+            self._kernel = QueryKernel(self.csr, self.trussness, incidence=self.incidence)
         return self._kernel
 
     def __repr__(self) -> str:
@@ -218,6 +253,12 @@ class CTCEngine:
     delta_log_limit:
         How many per-mutation deltas the log retains (``0`` disables the
         log and with it the delta path).
+    decomp:
+        Decomposition strategy for full rebuilds (CLI: ``--decomp``):
+        ``"auto"`` (default) picks the level-synchronous vector peel or the
+        sequential bucket queue by snapshot size, ``"vector"`` / ``"bucket"``
+        pin one — see :mod:`repro.trusses.csr_decomposition`.  Both produce
+        bit-identical trussness; the knob is purely a performance decision.
 
     Examples
     --------
@@ -239,6 +280,7 @@ class CTCEngine:
         copy: bool = True,
         delta_threshold: float = DEFAULT_DELTA_THRESHOLD,
         delta_log_limit: int = DEFAULT_DELTA_LOG_LIMIT,
+        decomp: str = "auto",
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
@@ -246,6 +288,10 @@ class CTCEngine:
             raise ValueError(f"delta_threshold must be >= 0, got {delta_threshold}")
         if delta_log_limit < 0:
             raise ValueError(f"delta_log_limit must be >= 0, got {delta_log_limit}")
+        if decomp not in ("auto", "vector", "bucket"):
+            raise ValueError(
+                f"decomp must be 'auto', 'vector' or 'bucket', got {decomp!r}"
+            )
         if graph is None:
             self._graph = UndirectedGraph()
         else:
@@ -254,6 +300,7 @@ class CTCEngine:
         self._cache_size = cache_size
         self._delta_threshold = delta_threshold
         self._delta_log_limit = delta_log_limit
+        self._decomp = decomp
         self._cache: OrderedDict[int, EngineSnapshot] = OrderedDict()
         #: version -> delta that produced it (contiguous, bounded window).
         self._delta_log: OrderedDict[int, GraphDelta] = OrderedDict()
@@ -286,6 +333,11 @@ class CTCEngine:
     def cache_size(self) -> int:
         """How many snapshot versions the LRU retains."""
         return self._cache_size
+
+    @property
+    def decomp(self) -> str:
+        """The full-rebuild decomposition strategy (see the class docstring)."""
+        return self._decomp
 
     def _record(self, delta: GraphDelta) -> None:
         """Log one effective mutation: bump the version and append its delta."""
@@ -459,16 +511,29 @@ class CTCEngine:
         return None
 
     def _build_full(self, version: int) -> EngineSnapshot:
-        """Freeze the store and decompose it from scratch (the seed path).
+        """Freeze the store and decompose it from scratch (the rebuild pipeline).
 
-        The dict-path :class:`TrussIndex` (and its O(m) canonical-edge-key
-        trussness dict) is *not* built here — :attr:`EngineSnapshot.index`
-        materializes it on first dict-path access.
+        Runs triangle enumeration + decomposition once via
+        :func:`~repro.trusses.csr_decomposition.csr_decompose` (strategy
+        from the ``decomp`` knob) and hands every artifact of the pass —
+        trussness, supports, and the triangle incidence when the vector
+        strategy enumerated one — to the snapshot, so nothing is computed
+        twice downstream.  The dict-path :class:`TrussIndex` (and its O(m)
+        canonical-edge-key trussness dict) is *not* built here —
+        :attr:`EngineSnapshot.index` materializes it on first dict-path
+        access.
         """
         frozen = self._graph.copy()
         csr = CSRGraph.from_graph(frozen)
-        trussness = csr_truss_decomposition(csr)
-        return EngineSnapshot(version=version, graph=frozen, csr=csr, trussness=trussness)
+        result = csr_decompose(csr, method=self._decomp)
+        return EngineSnapshot(
+            version=version,
+            graph=frozen,
+            csr=csr,
+            trussness=result.trussness,
+            supports=result.supports,
+            incidence=result.incidence,
+        )
 
     def _build_from_delta(
         self, base: EngineSnapshot, delta: GraphDelta, version: int
@@ -484,6 +549,8 @@ class CTCEngine:
                 csr=base.csr,
                 trussness=base.trussness,
                 index=base._index,
+                supports=base._supports,
+                incidence=base.incidence,
             )
             clone._kernel = base._kernel
             return clone
@@ -499,7 +566,9 @@ class CTCEngine:
             frozen.remove_node(node)
 
         patch = base.csr.apply_delta(delta)
-        trussness, changed = incremental_truss_update(base.csr, base.trussness, patch)
+        trussness, changed = incremental_truss_update(
+            base.csr, base.trussness, patch, incidence=base.incidence
+        )
         csr = patch.csr
 
         index: TrussIndex | None = None

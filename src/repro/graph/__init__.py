@@ -21,6 +21,13 @@ from repro.graph.properties import (
     graph_summary,
 )
 from repro.graph.csr import CSRGraph
+from repro.graph.csr_triangles import (
+    TriangleIncidence,
+    csr_triangle_incidence,
+    csr_triangle_supports,
+    subset_incidence,
+    triangle_nodes,
+)
 from repro.graph.delta import GraphDelta
 from repro.graph.keys import EdgeKey, edge_key
 from repro.graph.simple_graph import UndirectedGraph
@@ -46,6 +53,11 @@ from repro.graph.views import DeletionView, filter_edges_by, induced_subgraph
 __all__ = [
     "UndirectedGraph",
     "CSRGraph",
+    "TriangleIncidence",
+    "csr_triangle_incidence",
+    "csr_triangle_supports",
+    "subset_incidence",
+    "triangle_nodes",
     "GraphDelta",
     "EdgeKey",
     "edge_key",

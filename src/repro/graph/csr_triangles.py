@@ -1,0 +1,275 @@
+"""Vectorized forward triangle enumeration on sorted CSR rows.
+
+The sequential truss routines count and re-count triangles edge by edge
+through Python dict probes; this module enumerates every triangle of a
+:class:`~repro.graph.csr.CSRGraph` **once**, in bulk, with numpy primitives,
+and materializes the two artifacts the level-synchronous decomposition
+(:mod:`repro.trusses.csr_decomposition`) peels on:
+
+* a flat **triangle array** ``edges`` of shape ``(T, 3)`` holding the three
+  edge ids of each triangle, and
+* a **triangle-incidence CSR** (``inc_indptr`` / ``inc_triangles``) mapping
+  every edge id to the ids of the triangles containing it, so "kill the
+  triangles through this frontier of edges" is one segmented gather (plus a
+  scatter/scan dedup on the consumer side) instead of per-edge
+  adjacency-map intersections.
+
+Enumeration uses the standard forward orientation on the *node-id* order:
+each triangle ``u < v < w`` is produced exactly once from its lowest edge
+``(u, v)`` by scanning the forward slice of ``v``'s sorted row (neighbours
+``w > v``) and testing ``w in N(u)`` with one batched ``np.searchsorted``
+against the globally sorted composite key ``row * n + neighbour`` — the CSR
+layout concatenates sorted rows in row order, so that key array is strictly
+increasing and a single binary search resolves membership *and* yields the
+slot (hence the edge id) of ``(u, w)``.  Candidate batches are bounded by
+``candidate_budget`` slots so peak memory stays flat on skewed graphs.
+
+Per-edge supports fall out as one ``np.bincount`` over the triangle array —
+the same values as :func:`repro.trusses.csr_decomposition.csr_edge_supports`,
+without any per-edge Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "TriangleIncidence",
+    "csr_triangle_incidence",
+    "csr_triangle_supports",
+    "subset_incidence",
+    "triangle_nodes",
+]
+
+#: Upper bound on the number of candidate (edge, third-node) pairs expanded
+#: per enumeration batch; bounds peak memory on skewed degree distributions.
+DEFAULT_CANDIDATE_BUDGET = 1 << 20
+
+
+@dataclass(frozen=True)
+class TriangleIncidence:
+    """Flat triangle enumeration plus per-edge triangle-incidence CSR.
+
+    Attributes
+    ----------
+    edges:
+        ``int64`` array of shape ``(T, 3)``; row ``t`` holds the edge ids
+        ``(e_uv, e_uw, e_vw)`` of triangle ``u < v < w``.  Each triangle of
+        the graph appears exactly once.
+    supports:
+        ``int64`` array of length ``m``: the triangle count of every edge
+        (its k-truss *support*), equal to the number of rows of ``edges``
+        mentioning it.
+    inc_indptr, inc_triangles:
+        CSR mapping edge ids to triangle ids: edge ``e`` lies in triangles
+        ``inc_triangles[inc_indptr[e]:inc_indptr[e + 1]]`` (so
+        ``inc_triangles`` has length ``3 * T`` and
+        ``inc_indptr[e + 1] - inc_indptr[e] == supports[e]``).
+    """
+
+    edges: np.ndarray
+    supports: np.ndarray
+    inc_indptr: np.ndarray
+    inc_triangles: np.ndarray
+
+    @property
+    def num_triangles(self) -> int:
+        """The number of triangles ``T``."""
+        return int(self.edges.shape[0])
+
+    def triangles_of_edges(self, edge_ids: np.ndarray) -> np.ndarray:
+        """Return the (non-unique) triangle ids incident to ``edge_ids``.
+
+        One vectorized gather of the incidence rows of every listed edge; a
+        triangle appears once per listed edge it contains, so callers that
+        need distinct triangles apply ``np.unique`` on the result.
+        """
+        starts = self.inc_indptr[edge_ids]
+        counts = self.inc_indptr[edge_ids + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64)
+        # Segment gather: repeat each segment's (start - preceding total) and
+        # add a global arange — one repeat instead of two.
+        offsets = np.cumsum(counts) - counts
+        gather = np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+        return self.inc_triangles[gather]
+
+
+def _incidence_from_triangles(edges: np.ndarray, num_edges: int) -> TriangleIncidence:
+    """Assemble the incidence CSR and supports from a ``(T, 3)`` triangle array."""
+    flat = edges.ravel(order="F")  # all e_uv, then all e_uw, then all e_vw
+    num_triangles = edges.shape[0]
+    counts = np.bincount(flat, minlength=num_edges) if flat.size else np.zeros(
+        num_edges, dtype=np.int64
+    )
+    inc_indptr = np.zeros(num_edges + 1, dtype=np.int64)
+    np.cumsum(counts, out=inc_indptr[1:])
+    # Triangle order within an edge's incidence list is irrelevant (the peel
+    # treats it as a set), so pick the cheapest grouping sort: 2-pass radix
+    # on a narrowed key when edge ids fit 16 bits, unstable introsort above.
+    if num_edges <= np.iinfo(np.uint16).max:
+        order = np.argsort(flat.astype(np.uint16), kind="stable")
+    else:
+        order = np.argsort(flat)
+    inc_triangles = (order % num_triangles) if num_triangles else order
+    return TriangleIncidence(
+        edges=edges,
+        supports=counts.astype(np.int64, copy=False),
+        inc_indptr=inc_indptr,
+        inc_triangles=inc_triangles.astype(np.int64, copy=False),
+    )
+
+
+def _enumerate_triangles(csr: CSRGraph, candidate_budget: int) -> np.ndarray:
+    """Enumerate every triangle of ``csr`` as a ``(T, 3)`` edge-id array."""
+    num_nodes = csr.number_of_nodes()
+    num_edges = csr.number_of_edges()
+    if num_edges == 0:
+        return np.zeros((0, 3), dtype=np.int64)
+
+    indptr, indices, slot_edge = csr.indptr, csr.indices, csr.slot_edge
+    degrees = np.diff(indptr)
+    row_of_slot = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+    # Forward slice of each sorted row: the suffix of neighbours > the node.
+    forward = indices > row_of_slot
+    forward_count = np.bincount(row_of_slot[forward], minlength=num_nodes)
+    forward_start = indptr[1:] - forward_count
+    # Rows are concatenated in row order and sorted within, so this composite
+    # key array is strictly increasing: one searchsorted resolves membership
+    # of any (node, neighbour) pair and yields its slot.
+    all_keys = row_of_slot * num_nodes + indices
+
+    edge_u, edge_v = csr.edge_u, csr.edge_v
+    cand_counts = forward_count[edge_v]
+    cum = np.zeros(num_edges + 1, dtype=np.int64)
+    np.cumsum(cand_counts, out=cum[1:])
+
+    parts: list[np.ndarray] = []
+    lo = 0
+    while lo < num_edges:
+        hi = int(np.searchsorted(cum, cum[lo] + candidate_budget, side="right")) - 1
+        hi = min(max(hi, lo + 1), num_edges)
+        counts = cand_counts[lo:hi]
+        total = int(cum[hi] - cum[lo])
+        if total == 0:
+            lo = hi
+            continue
+        starts = forward_start[edge_v[lo:hi]]
+        offsets = np.cumsum(counts) - counts
+        gather = np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+        # Candidate triangles of edge (u, v): third node w > v from v's
+        # forward slice; (v, w) is the slot itself, (u, w) is the probe.
+        w = indices[gather]
+        e_uv = np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
+        probe = np.repeat(edge_u[lo:hi], counts) * num_nodes + w
+        pos = np.searchsorted(all_keys, probe)
+        pos = np.minimum(pos, all_keys.size - 1)
+        hit = np.nonzero(all_keys[pos] == probe)[0]
+        if hit.size:
+            batch = np.empty((hit.size, 3), dtype=np.int64)
+            batch[:, 0] = e_uv[hit]
+            batch[:, 1] = slot_edge[pos[hit]]
+            batch[:, 2] = slot_edge[gather[hit]]
+            parts.append(batch)
+        lo = hi
+
+    if len(parts) == 1:
+        return parts[0]
+    if parts:
+        return np.concatenate(parts, axis=0)
+    return np.zeros((0, 3), dtype=np.int64)
+
+
+def csr_triangle_incidence(
+    csr: CSRGraph, *, candidate_budget: int = DEFAULT_CANDIDATE_BUDGET
+) -> TriangleIncidence:
+    """Enumerate every triangle of ``csr`` and build its incidence structure.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import complete_graph
+    >>> inc = csr_triangle_incidence(CSRGraph.from_graph(complete_graph(4)))
+    >>> inc.num_triangles, sorted(set(inc.supports.tolist()))
+    (4, [2])
+    """
+    return _incidence_from_triangles(
+        _enumerate_triangles(csr, candidate_budget), csr.number_of_edges()
+    )
+
+
+def csr_triangle_supports(
+    csr: CSRGraph, *, candidate_budget: int = DEFAULT_CANDIDATE_BUDGET
+) -> np.ndarray:
+    """Return per-edge triangle counts (supports) without incidence assembly.
+
+    For callers that only need the support array (e.g. bulk support
+    counting), this skips the incidence-CSR grouping sort that
+    :func:`csr_triangle_incidence` pays — one enumeration pass plus one
+    ``np.bincount``.
+    """
+    triangles = _enumerate_triangles(csr, candidate_budget)
+    if triangles.size == 0:
+        return np.zeros(csr.number_of_edges(), dtype=np.int64)
+    return np.bincount(
+        triangles.ravel(), minlength=csr.number_of_edges()
+    ).astype(np.int64, copy=False)
+
+
+def subset_incidence(
+    incidence: TriangleIncidence, parent_edge_ids: np.ndarray
+) -> TriangleIncidence:
+    """Restrict ``incidence`` to the subgraph induced by ``parent_edge_ids``.
+
+    ``parent_edge_ids`` must be sorted and unique; local edge ``e`` of the
+    result corresponds to ``parent_edge_ids[e]``, which is exactly the
+    edge-id contract of :meth:`CSRGraph.edge_subgraph`.  The kept triangles
+    are those with **all three** edges selected — i.e. the triangles of the
+    edge subgraph — gathered locally through the incidence CSR, which is how
+    the LCTC kernel re-decomposes its expansion without re-enumerating
+    triangles from scratch.  The per-element work is proportional to the
+    selected edges' triangle degrees; the sort-free dedup and edge
+    translation do pay two O(parent)-sized scratch initializations (a
+    ``bool`` per parent triangle, an ``int64`` per parent edge), a trade
+    that beats sorting the candidate list at every scale measured here.
+    """
+    selected = np.asarray(parent_edge_ids, dtype=np.int64)
+    num_local = int(selected.size)
+    candidates = incidence.triangles_of_edges(selected)
+    if candidates.size == 0:
+        return _incidence_from_triangles(np.zeros((0, 3), dtype=np.int64), num_local)
+    # Scatter/scan dedup (a triangle is gathered once per selected edge it
+    # contains) — linear, and the scan yields the ids already sorted.
+    flag = np.zeros(incidence.num_triangles, dtype=bool)
+    flag[candidates] = True
+    candidates = np.nonzero(flag)[0]
+    # Parent-to-local edge translation through one lookup table; a corner
+    # outside the selection maps to -1 and disqualifies its triangle.
+    local_of = np.full(incidence.supports.size, -1, dtype=np.int64)
+    local_of[selected] = np.arange(num_local, dtype=np.int64)
+    local = local_of[incidence.edges[candidates]]
+    present = (local >= 0).all(axis=1)
+    return _incidence_from_triangles(np.ascontiguousarray(local[present]), num_local)
+
+
+def triangle_nodes(csr: CSRGraph, incidence: TriangleIncidence | None = None) -> np.ndarray:
+    """Return the node-id triples ``(u < v < w)`` of every triangle of ``csr``.
+
+    The array twin of :func:`repro.graph.triangles.iter_triangles` (which
+    yields label triples in peel order): row ``t`` of the result holds the
+    sorted dense ids of triangle ``t`` of ``incidence`` (enumerated on the
+    fly when not supplied).
+    """
+    if incidence is None:
+        incidence = csr_triangle_incidence(csr)
+    edges = incidence.edges
+    # Triangle rows are (e_uv, e_uw, e_vw) with u < v < w, so u and v are
+    # the endpoints of the first edge and w is the upper end of the last.
+    return np.stack(
+        [csr.edge_u[edges[:, 0]], csr.edge_v[edges[:, 0]], csr.edge_v[edges[:, 2]]],
+        axis=1,
+    )

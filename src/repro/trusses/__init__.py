@@ -7,7 +7,13 @@ and the array path over a frozen :class:`~repro.graph.csr.CSRGraph` snapshot
 on the input type.
 """
 
-from repro.trusses.csr_decomposition import csr_edge_supports, csr_truss_decomposition
+from repro.trusses.csr_decomposition import (
+    CSRDecomposition,
+    csr_decompose,
+    csr_edge_supports,
+    csr_truss_decomposition,
+    peel_incidence,
+)
 from repro.trusses.decomposition import (
     graph_trussness,
     k_truss_subgraph,
@@ -33,8 +39,11 @@ from repro.trusses.maintenance import KTrussMaintainer, restore_k_truss
 
 __all__ = [
     "truss_decomposition",
+    "CSRDecomposition",
+    "csr_decompose",
     "csr_edge_supports",
     "csr_truss_decomposition",
+    "peel_incidence",
     "incremental_truss_update",
     "vertex_trussness",
     "graph_trussness",

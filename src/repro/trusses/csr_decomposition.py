@@ -4,27 +4,37 @@ These are the fast-path twins of :func:`repro.graph.triangles.all_edge_supports`
 and :func:`repro.trusses.decomposition.truss_decomposition`: same peeling
 semantics (Wang & Cheng, PVLDB 2012; the paper's reference [29], used by
 Remark 1), but operating on the dense integer ids of a
-:class:`~repro.graph.csr.CSRGraph` instead of tuple-keyed dicts:
+:class:`~repro.graph.csr.CSRGraph` instead of tuple-keyed dicts.  Two
+execution strategies implement the same decomposition:
 
-* per-edge attributes (support, trussness) live in flat arrays indexed by
-  dense edge id — no ``edge_key`` tuple construction or tuple hashing on
-  the hot path;
-* the peeling order is maintained with the classic O(m) bin-sort bucket
-  queue (Batagelj-Zaversnik style): edges stay sorted by current support,
-  and a support decrement is a single swap-to-bucket-front plus a
-  bucket-boundary shift;
-* triangle enumeration during the peel walks int-keyed shrinking adjacency
-  maps (neighbour id -> edge id) derived from the CSR arrays, so dead edges
-  are never rescanned.
+* the **level-synchronous vector peel** (``method="vector"``, the default
+  for non-tiny graphs): triangles are enumerated once, in bulk, by
+  :mod:`repro.graph.csr_triangles`, and then whole *frontiers* of edges are
+  peeled per round — at level ``k``, every surviving edge with support
+  ``<= k - 2`` is removed at once, its triangles die in one gather, and the
+  surviving edges' supports drop by one ``np.bincount``.  Trussness is
+  order-independent within a level (removing any qualifying edge never lifts
+  another qualifying edge back above the threshold), so the frontier rounds
+  produce **bit-identical** trussness to the sequential peel — the property
+  suite (``tests/trusses/test_csr_equivalence.py``) enforces it;
+* the **sequential bucket queue** (``method="bucket"``): the classic O(m)
+  bin-sort peel over Python lists, retained as the small-graph fallback —
+  below a few thousand edges the fixed cost of the numpy passes exceeds the
+  whole Python peel.
 
-One deliberate difference from textbook peeling: a decrement never pushes an
-edge's support below the level currently being peeled.  This "clamp" keeps
-the sorted array valid without re-sorting and is harmless because trussness
-is non-decreasing along the peel — an edge whose support would fall below
-the current level is peeled at that level anyway.  The dict-based version
-achieves the same effect by rewinding its bucket pointer.
+``method="auto"`` (every caller's default) picks between them by edge count
+(:data:`DEFAULT_VECTOR_THRESHOLD`); the engine's ``decomp`` knob (CLI
+``--decomp``) can pin either strategy.
 
-Both functions return per-edge-id ``numpy`` arrays; use
+One deliberate difference from textbook peeling, shared by both strategies:
+a decrement never pushes an edge's support below the level currently being
+peeled.  The bucket queue clamps explicitly to keep its sorted array valid;
+the vector peel achieves the same effect by assigning the *round's* level to
+every frontier edge regardless of how far its support undershot.  This is
+harmless because trussness is non-decreasing along the peel — an edge whose
+support would fall below the current level is peeled at that level anyway.
+
+Both strategies return per-edge-id ``numpy`` arrays; use
 :meth:`CSRGraph.edge_key_of` (or the dispatching wrappers in
 :mod:`repro.trusses.decomposition` and :mod:`repro.graph.triangles`) to
 convert back to canonical-edge-key dicts interchangeable with the dict path.
@@ -32,11 +42,62 @@ convert back to canonical-edge-key dicts interchangeable with the dict path.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.csr_triangles import (
+    TriangleIncidence,
+    csr_triangle_incidence,
+    csr_triangle_supports,
+)
 
-__all__ = ["csr_edge_supports", "csr_truss_decomposition"]
+__all__ = [
+    "CSRDecomposition",
+    "DEFAULT_VECTOR_THRESHOLD",
+    "csr_decompose",
+    "csr_edge_supports",
+    "csr_truss_decomposition",
+    "peel_incidence",
+]
+
+#: ``method="auto"`` uses the level-synchronous vector peel at or above this
+#: many edges and the sequential bucket queue below it (the numpy passes have
+#: a fixed cost the tiny-graph Python peel undercuts; the measured crossover
+#: sits around a couple hundred edges).
+DEFAULT_VECTOR_THRESHOLD = 256
+
+
+@dataclass(frozen=True)
+class CSRDecomposition:
+    """The full output of one decomposition pass over a snapshot.
+
+    Bundles the artifacts a full rebuild produces anyway so downstream
+    consumers (:class:`~repro.engine.EngineSnapshot`, the LCTC kernel's
+    local re-decomposition, incremental deletion seeding) share them instead
+    of recomputing: per-edge ``trussness``, the initial per-edge
+    ``supports``, and — when the vector strategy ran — the
+    :class:`~repro.graph.csr_triangles.TriangleIncidence` it enumerated
+    (``None`` from the bucket path, which never materializes triangles).
+    ``method`` records the strategy that actually executed (``"vector"`` or
+    ``"bucket"``), after ``"auto"`` resolution.
+    """
+
+    trussness: np.ndarray
+    supports: np.ndarray
+    incidence: TriangleIncidence | None
+    method: str
+
+
+def _resolve_method(csr: CSRGraph, method: str) -> str:
+    if method == "auto":
+        return "vector" if csr.number_of_edges() >= DEFAULT_VECTOR_THRESHOLD else "bucket"
+    if method not in ("vector", "bucket"):
+        raise ValueError(
+            f"decomposition method must be 'auto', 'vector' or 'bucket', got {method!r}"
+        )
+    return method
 
 
 def _adjacency_maps(csr: CSRGraph) -> list[dict[int, int]]:
@@ -71,36 +132,124 @@ def _supports_list(
 def csr_edge_supports(csr: CSRGraph) -> np.ndarray:
     """Return the support of every edge as an ``int64`` array indexed by edge id.
 
-    Each edge ``(u, v)`` is visited exactly once; its support is counted by
-    probing every neighbour of the lower-degree endpoint against the other
-    endpoint's adjacency map, so the total cost is
-    ``O(sum over edges of min(deg(u), deg(v)))`` hash probes.
+    Large snapshots (>= :data:`DEFAULT_VECTOR_THRESHOLD` edges) count all
+    supports at once with the vectorized triangle enumerator of
+    :mod:`repro.graph.csr_triangles` (one ``np.bincount`` over the triangle
+    array); small ones visit each edge ``(u, v)`` and intersect the
+    endpoints' ``{neighbour: edge id}`` maps with a C-speed dict keys-view
+    ``&``, so the total cost is one hash-set intersection per edge.
     """
+    if csr.number_of_edges() >= DEFAULT_VECTOR_THRESHOLD:
+        return csr_triangle_supports(csr)
     supports = _supports_list(
         _adjacency_maps(csr), csr.edge_u.tolist(), csr.edge_v.tolist()
     )
     return np.asarray(supports, dtype=np.int64)
 
 
-def csr_truss_decomposition(csr: CSRGraph) -> np.ndarray:
-    """Return the trussness of every edge as an ``int64`` array indexed by edge id.
+def peel_incidence(incidence: TriangleIncidence) -> np.ndarray:
+    """Level-synchronously peel a triangle-incidence structure to trussness.
 
-    Drop-in equivalent (modulo key representation) to
-    :func:`repro.trusses.decomposition.truss_decomposition`: values are
-    ``>= 2`` and edges in no triangle get exactly 2.
+    The decomposition engine of the vector strategy, factored out so it can
+    run on *any* incidence structure — the whole snapshot's
+    (:func:`csr_decompose`) or a subgraph restriction produced by
+    :func:`~repro.graph.csr_triangles.subset_incidence` (the LCTC kernel's
+    local re-decomposition).  Per level ``k``, the whole frontier of
+    surviving edges with support ``<= k - 2`` is peeled per round until the
+    level is exhausted; triangles with a peeled edge die and decrement their
+    surviving edges' supports in bulk.  Returns the ``int64`` trussness
+    array, one entry per edge of the incidence's graph (every value
+    ``>= 2``; triangle-free edges get exactly 2).
+    """
+    num_edges = int(incidence.supports.size)
+    trussness = np.full(num_edges, 2, dtype=np.int64)
+    if num_edges == 0:
+        return trussness
+    support = incidence.supports.copy()
+    triangle_edges = incidence.edges
+    inc_indptr = incidence.inc_indptr
+    inc_triangles = incidence.inc_triangles
+    inc_counts = np.diff(inc_indptr)
+    triangle_alive = np.ones(incidence.num_triangles, dtype=bool)
+    edge_alive = np.ones(num_edges, dtype=bool)
+    # Scratch flags for sort-free dedup: scatter ids in, nonzero-scan the
+    # (sorted) distinct ids out, reset only the touched entries.  np.unique
+    # would sort each round's casualty list; the scan is linear and the
+    # arrays are round-lifetime only.
+    triangle_flag = np.zeros(incidence.num_triangles, dtype=bool)
+    edge_flag = np.zeros(num_edges, dtype=bool)
+    # One reusable iota covering the largest possible gather (every incidence
+    # slot); rounds slice views off it instead of re-running np.arange.
+    iota = np.arange(incidence.inc_triangles.size, dtype=np.int64)
+    remaining = num_edges
+    k = 2
+    empty = np.zeros(0, dtype=np.int64)
+    # Support only ever *drops*, so after the level-opening full scan every
+    # later frontier of the level hides among the edges just decremented —
+    # cascade rounds touch O(affected) edges, not O(m).
+    frontier = np.nonzero(support <= 0)[0]
+    while remaining:
+        if frontier.size == 0:
+            # Level exhausted: jump straight to the next occupied support bin
+            # (trussness is non-decreasing, so no level can appear below it).
+            floor = int(np.min(support, where=edge_alive, initial=num_edges))
+            k = max(k + 1, floor + 2)
+            frontier = np.nonzero(edge_alive & (support <= k - 2))[0]
+            continue
+        trussness[frontier] = k
+        edge_alive[frontier] = False
+        remaining -= int(frontier.size)
+        if remaining == 0:
+            break
+        # Inline segment gather of the frontier's incidence rows (see
+        # TriangleIncidence.triangles_of_edges; one repeat + one arange).
+        counts = inc_counts[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            frontier = empty
+            continue
+        offsets = np.cumsum(counts) - counts
+        gather = np.repeat(inc_indptr[frontier] - offsets, counts) + iota[:total]
+        casualties = inc_triangles[gather]
+        frontier = empty
+        casualties = casualties[triangle_alive[casualties]]
+        if casualties.size == 0:
+            continue
+        # A triangle touching two frontier edges is gathered twice; the flag
+        # scatter collapses it so it dies (and decrements) exactly once.
+        triangle_flag[casualties] = True
+        dead = np.nonzero(triangle_flag)[0]
+        triangle_flag[dead] = False
+        triangle_alive[dead] = False
+        corners = triangle_edges[dead].ravel()
+        corners = corners[edge_alive[corners]]
+        if corners.size:
+            # A corner listed once per dead triangle containing it is exactly
+            # the decrement bincount must apply — no dedup here.
+            support -= np.bincount(corners, minlength=num_edges)
+            qualifying = corners[support[corners] <= k - 2]
+            if qualifying.size:
+                # Same scatter/scan dedup as the triangle flags: the next
+                # frontier must list each edge once (remaining-count and
+                # gather volume both depend on it).
+                edge_flag[qualifying] = True
+                frontier = np.nonzero(edge_flag)[0]
+                edge_flag[frontier] = False
+    return trussness
 
-    Examples
-    --------
-    >>> from repro.graph.generators import complete_graph
-    >>> csr = CSRGraph.from_graph(complete_graph(4))
-    >>> sorted(set(csr_truss_decomposition(csr).tolist()))
-    [4]
+
+def _bucket_truss_decomposition(
+    csr: CSRGraph, supports: list[int], adjacency: list[dict[int, int]] | None = None
+) -> np.ndarray:
+    """The sequential bin-sort bucket-queue peel (the small-graph fallback).
+
+    ``adjacency`` lets the caller share the maps the support count already
+    built (they are consumed destructively, so a shared instance must not be
+    reused afterwards).
     """
     num_edges = csr.number_of_edges()
-    if num_edges == 0:
-        return np.zeros(0, dtype=np.int64)
-
-    adjacency = _adjacency_maps(csr)
+    if adjacency is None:
+        adjacency = _adjacency_maps(csr)
     edge_u = csr.edge_u.tolist()
     edge_v = csr.edge_v.tolist()
 
@@ -108,7 +257,7 @@ def csr_truss_decomposition(csr: CSRGraph) -> np.ndarray:
     # numpy arrays is far slower than list indexing on this hot path).
     # sorted_edges holds edge ids ordered by current support, pos is the
     # inverse permutation, bin_start[s] is the first position of support s.
-    current = _supports_list(adjacency, edge_u, edge_v)
+    current = list(supports)
     max_support = max(current)
     counts = [0] * (max_support + 1)
     for value in current:
@@ -175,3 +324,81 @@ def csr_truss_decomposition(csr: CSRGraph) -> np.ndarray:
                 bin_start[value] = front + 1
                 current[second] = value - 1
     return np.asarray(trussness, dtype=np.int64)
+
+
+def csr_decompose(
+    csr: CSRGraph,
+    *,
+    method: str = "auto",
+    supports: np.ndarray | None = None,
+    incidence: TriangleIncidence | None = None,
+) -> CSRDecomposition:
+    """Decompose ``csr`` and return every artifact of the pass.
+
+    ``method`` selects the strategy (``"auto"``, ``"vector"`` or
+    ``"bucket"``; see the module docstring).  ``supports`` and ``incidence``
+    let callers that already hold those artifacts (an
+    :class:`~repro.engine.EngineSnapshot`, a repeated benchmark run) skip
+    recomputing them; when omitted they are built here and returned, so
+    downstream consumers can share them instead of rebuilding — the fix for
+    the historical double support computation on full builds.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import complete_graph
+    >>> result = csr_decompose(CSRGraph.from_graph(complete_graph(4)))
+    >>> result.method, result.trussness.tolist(), result.supports.tolist()
+    ('bucket', [4, 4, 4, 4, 4, 4], [2, 2, 2, 2, 2, 2])
+    """
+    num_edges = csr.number_of_edges()
+    resolved = _resolve_method(csr, method)
+    if num_edges == 0:
+        return CSRDecomposition(
+            trussness=np.zeros(0, dtype=np.int64),
+            supports=np.zeros(0, dtype=np.int64),
+            incidence=incidence,
+            method=resolved,
+        )
+    if resolved == "vector":
+        if incidence is None:
+            incidence = csr_triangle_incidence(csr)
+        return CSRDecomposition(
+            trussness=peel_incidence(incidence),
+            supports=incidence.supports,
+            incidence=incidence,
+            method=resolved,
+        )
+    adjacency = _adjacency_maps(csr)
+    if supports is None:
+        support_list = _supports_list(adjacency, csr.edge_u.tolist(), csr.edge_v.tolist())
+        supports = np.asarray(support_list, dtype=np.int64)
+    else:
+        supports = np.asarray(supports, dtype=np.int64)
+        support_list = supports.tolist()
+    return CSRDecomposition(
+        trussness=_bucket_truss_decomposition(csr, support_list, adjacency),
+        supports=supports,
+        incidence=incidence,
+        method=resolved,
+    )
+
+
+def csr_truss_decomposition(
+    csr: CSRGraph, *, method: str = "auto", supports: np.ndarray | None = None
+) -> np.ndarray:
+    """Return the trussness of every edge as an ``int64`` array indexed by edge id.
+
+    Drop-in equivalent (modulo key representation) to
+    :func:`repro.trusses.decomposition.truss_decomposition`: values are
+    ``>= 2`` and edges in no triangle get exactly 2.  Thin wrapper over
+    :func:`csr_decompose` for callers that only want the trussness array;
+    ``method`` / ``supports`` are forwarded as-is.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import complete_graph
+    >>> csr = CSRGraph.from_graph(complete_graph(4))
+    >>> sorted(set(csr_truss_decomposition(csr).tolist()))
+    [4]
+    """
+    return csr_decompose(csr, method=method, supports=supports).trussness

@@ -47,6 +47,7 @@ from collections import deque
 import numpy as np
 
 from repro.graph.csr import CSRGraph, CSRPatch
+from repro.graph.csr_triangles import TriangleIncidence
 
 __all__ = ["incremental_truss_update"]
 
@@ -97,6 +98,8 @@ def incremental_truss_update(
     old_csr: CSRGraph,
     old_trussness: np.ndarray,
     patch: CSRPatch,
+    *,
+    incidence: TriangleIncidence | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(new_trussness, changed_edge_ids)`` for a patched snapshot.
 
@@ -106,6 +109,13 @@ def incremental_truss_update(
     ``csr_truss_decomposition(patch.csr)`` recomputation; ``changed_edge_ids``
     lists the new edge ids whose value differs from the carried-over old
     value (inserted edges always count as changed).
+
+    ``incidence`` is an optional
+    :class:`~repro.graph.csr_triangles.TriangleIncidence` of **old_csr**
+    (e.g. retained by the engine snapshot from its full rebuild): when
+    present, the deletion pass seeds its worklist with one vectorized
+    gather over the removed edges' incidence rows instead of intersecting
+    adjacency maps edge by edge.
     """
     new_csr = patch.csr
     num_edges = new_csr.number_of_edges()
@@ -182,23 +192,30 @@ def incremental_truss_update(
     # ------------------------------------------------------------------
     if patch.removed_edge_ids.size:
         new_of_old = patch.new_ids_of_old(old_csr.number_of_edges())
-        old_adjacency = _LazyAdjacency(old_csr)
-        seeds: set[int] = set()
-        for old_edge in patch.removed_edge_ids.tolist():
-            node_u = int(old_csr.edge_u[old_edge])
-            node_v = int(old_csr.edge_v[old_edge])
-            first = old_adjacency(node_u)
-            second = old_adjacency(node_v)
-            if len(first) > len(second):
-                first, second = second, first
-            for node, other_first in first.items():
-                other_second = second.get(node)
-                if other_second is None:
-                    continue
-                for old_neighbor in (other_first, other_second):
-                    new_neighbor = int(new_of_old[old_neighbor])
-                    if new_neighbor >= 0:
-                        seeds.add(new_neighbor)
+        if incidence is not None:
+            # Every triangle lost to the deletion batch is incident to some
+            # removed edge; its (surviving) corner edges are the seeds.
+            lost = np.unique(incidence.triangles_of_edges(patch.removed_edge_ids))
+            survivors = new_of_old[incidence.edges[lost].ravel()] if lost.size else lost
+            seeds = set(survivors[survivors >= 0].tolist())
+        else:
+            old_adjacency = _LazyAdjacency(old_csr)
+            seeds = set()
+            for old_edge in patch.removed_edge_ids.tolist():
+                node_u = int(old_csr.edge_u[old_edge])
+                node_v = int(old_csr.edge_v[old_edge])
+                first = old_adjacency(node_u)
+                second = old_adjacency(node_v)
+                if len(first) > len(second):
+                    first, second = second, first
+                for node, other_first in first.items():
+                    other_second = second.get(node)
+                    if other_second is None:
+                        continue
+                    for old_neighbor in (other_first, other_second):
+                        new_neighbor = int(new_of_old[old_neighbor])
+                        if new_neighbor >= 0:
+                            seeds.add(new_neighbor)
         if seeds:
             drain(deque(sorted(seeds)), None)
 

@@ -198,3 +198,27 @@ class TestKernelDetails:
             assert via_snapshot.nodes == direct.nodes
         # Baselines read snapshot.graph directly; no dict index is forced.
         assert not snapshot.has_index()
+
+    def test_lctc_incidence_reuse_matches_all_paths(self, monkeypatch):
+        """LCTC re-decomposing its expansion on the snapshot's triangle
+        incidence (instead of enumerating the subgraph afresh) changes
+        nothing observable, against both the fresh-kernel and dict paths."""
+        import repro.ctc.kernels.search as kernel_search
+
+        # Force the reuse branch even on small test expansions.
+        monkeypatch.setattr(kernel_search, "DEFAULT_VECTOR_THRESHOLD", 1)
+        graph = erdos_renyi_graph(35, 0.25, seed=3)
+        engine = CTCEngine(graph, decomp="vector")
+        snapshot = engine.snapshot()
+        assert snapshot.kernel.incidence is not None
+        bare_kernel = QueryKernel(snapshot.csr, snapshot.trussness)
+        assert bare_kernel.incidence is None
+        index = TrussIndex(graph)
+        for query in ([0, 1], [5, 9, 12], [3]):
+            for eta in (10, 100):
+                reused = kernel_search.lctc_search(snapshot.kernel, query, eta=eta, gamma=3.0)
+                fresh = kernel_search.lctc_search(bare_kernel, query, eta=eta, gamma=3.0)
+                via_dict = outcome(index, query, "lctc", eta=eta)
+                assert reused.nodes == fresh.nodes
+                assert reused.trussness == fresh.trussness
+                assert outcome(snapshot, query, "lctc", eta=eta) == via_dict

@@ -333,3 +333,62 @@ class TestCorrectness:
         assert engine.graph.number_of_nodes() == 0
         snapshot = engine.snapshot()
         assert snapshot.csr.number_of_edges() == 0
+
+
+class TestDecompPipeline:
+    """The full-rebuild decomposition knob and the shared build artifacts."""
+
+    def test_invalid_decomp_rejected(self):
+        with pytest.raises(ValueError, match="decomp"):
+            CTCEngine(complete_graph(4), decomp="simd")
+
+    def test_strategies_build_identical_snapshots(self):
+        import numpy as np
+
+        graph = erdos_renyi_graph(40, 0.2, seed=11)
+        vector = CTCEngine(graph, decomp="vector").snapshot()
+        bucket = CTCEngine(graph, decomp="bucket").snapshot()
+        assert np.array_equal(vector.trussness, bucket.trussness)
+        assert np.array_equal(vector.supports, bucket.supports)
+
+    def test_vector_build_shares_incidence_and_supports(self):
+        engine = CTCEngine(erdos_renyi_graph(40, 0.2, seed=11), decomp="vector")
+        snapshot = engine.snapshot()
+        assert snapshot.incidence is not None
+        # No recount on access: the decomposition's own arrays are handed over.
+        assert snapshot.supports is snapshot.incidence.supports
+        # The snapshot's kernel sees the incidence for LCTC local reuse.
+        assert snapshot.kernel.incidence is snapshot.incidence
+
+    def test_bucket_build_has_supports_but_no_incidence(self):
+        engine = CTCEngine(erdos_renyi_graph(40, 0.2, seed=11), decomp="bucket")
+        snapshot = engine.snapshot()
+        assert snapshot.incidence is None
+        assert snapshot.supports.shape == (snapshot.csr.number_of_edges(),)
+
+    def test_delta_snapshot_computes_supports_lazily(self):
+        import numpy as np
+
+        from repro.trusses.csr_decomposition import csr_edge_supports
+
+        engine = CTCEngine(erdos_renyi_graph(40, 0.2, seed=11))
+        engine.snapshot()
+        engine.add_edge(990, 991)
+        patched = engine.snapshot()
+        assert engine.stats.delta_applies == 1
+        assert np.array_equal(patched.supports, csr_edge_supports(patched.csr))
+
+    def test_incidence_seeded_deletions_match_full_rebuild(self):
+        """The delta path seeded from the retained incidence stays exact."""
+        import numpy as np
+
+        graph = erdos_renyi_graph(40, 0.25, seed=7)
+        engine = CTCEngine(graph, decomp="vector")
+        base = engine.snapshot()
+        assert base.incidence is not None
+        for edge in sorted(graph.edges())[:6]:
+            engine.remove_edge(*edge)
+        patched = engine.snapshot()
+        assert engine.stats.delta_applies == 1
+        oracle = CTCEngine(engine.graph, decomp="vector", delta_threshold=0).snapshot()
+        assert np.array_equal(patched.trussness, oracle.trussness)

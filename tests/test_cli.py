@@ -75,6 +75,31 @@ class TestSearchCommand:
         with pytest.raises(SystemExit):
             main(["search", figure1_file, "--query", "q1", "--kernel", "csr"])
 
+    def test_decomp_requires_engine(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["search", figure1_file, "--query", "q1", "--decomp", "vector"])
+
+    def test_unknown_decomp_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "g.txt", "--query", "a", "--engine", "--decomp", "simd"]
+            )
+
+    def test_decomp_strategies_agree(self, figure1_file, capsys):
+        """--decomp vector and --decomp bucket print the same community."""
+        outputs = {}
+        for decomp in ("vector", "bucket"):
+            exit_code = main(
+                ["search", figure1_file, "--query", "q1", "q2", "--method", "lctc",
+                 "--eta", "50", "--engine", "--decomp", decomp]
+            )
+            assert exit_code == 0
+            outputs[decomp] = capsys.readouterr().out
+            assert f"decomp:        {decomp}" in outputs[decomp]
+        assert outputs["vector"].split("members:")[1].split("decomp:")[0] == (
+            outputs["bucket"].split("members:")[1].split("decomp:")[0]
+        )
+
     def test_engine_defaults_to_csr_kernel(self, figure1_file, capsys):
         exit_code = main(
             ["search", figure1_file, "--query", "q1", "q2", "--method", "lctc",
