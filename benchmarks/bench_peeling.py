@@ -1,0 +1,182 @@
+"""Peel-engine throughput: masked-array peeling vs the dict-map CSR kernel.
+
+Both contenders run the *same* CSR-native query pipeline on the same warmed
+:class:`QueryKernel` — FindG0, selectors, result materialization are all
+shared — and differ only in the peel engine behind
+:func:`repro.ctc.kernels.peeling.peel`: the PR-4-era adjacency-map loop
+(``peel_engine="dict"``) against the masked frontier-BFS + incidence-cascade
+array engine (``peel_engine="array"``, :mod:`repro.graph.csr_bfs` +
+:class:`~repro.trusses.csr_decomposition.IncidencePeelState`).
+
+``test_peel_speedup_at_least_2x`` is the acceptance gate for this PR's
+tentpole: the array engine must deliver at least 2x the dict engine's
+queries/sec on the dblp-like **basic** and **bulk-delete** workloads (the
+two global methods whose inner loop *is* the peel).  The equivalence suite
+(``tests/ctc/test_kernel_equivalence.py::TestPeelEngineEquivalence``)
+proves both engines return identical communities, so the gate measures a
+pure execution-layer win.
+
+``test_peeling_json_artifact`` writes the per-method measurements to a JSON
+trajectory file (``BENCH_PEELING_JSON`` env var, default
+``BENCH_peeling.json``); the checked-in snapshot at the repo root lets
+future PRs diff peel throughput.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_peeling.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.ctc.kernels.search import basic_search, bulk_delete_search
+from repro.datasets.queries import QueryWorkloadGenerator
+from repro.datasets.registry import load_dataset
+from repro.engine import CTCEngine
+
+#: How many times the query workload is replayed when measuring throughput.
+ROUNDS = 3
+
+#: The tentpole acceptance gate: array >= this multiple of dict, per method.
+TARGET_SPEEDUP = 2.0
+
+#: The two workloads whose inner loop is the peel (Algorithms 1 and 4).
+METHODS = (
+    ("basic", basic_search),
+    ("bulk-delete", bulk_delete_search),
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load_dataset("dblp-like")
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    generator = QueryWorkloadGenerator(network.graph, seed=7)
+    return generator.random_queries(2, 4)
+
+
+@pytest.fixture(scope="module")
+def kernel(network, queries):
+    """One warmed QueryKernel serving both engines.
+
+    Warm-up builds every shared lazy artifact outside timing — the triangle
+    incidence (the array cascade's substrate), the sorted adjacency, and
+    one full query per engine so first-call costs never skew a side.
+    """
+    kernel = CTCEngine(network.graph).snapshot().kernel
+    kernel.ensure_incidence()
+    _ = kernel.sorted_arrays
+    for _method_name, function in METHODS:
+        function(kernel, queries[0], peel_engine="dict")
+        function(kernel, queries[0], peel_engine="array")
+    return kernel
+
+
+def _run(kernel, queries, function, engine) -> int:
+    count = 0
+    for _ in range(ROUNDS):
+        for query in queries:
+            result = function(kernel, query, peel_engine=engine)
+            assert result.contains_query()
+            count += 1
+    return count
+
+
+def _queries_per_second(kernel, queries, function, engine) -> float:
+    started = time.perf_counter()
+    count = _run(kernel, queries, function, engine)
+    return count / (time.perf_counter() - started)
+
+
+def test_bench_dict_peel_basic(benchmark, kernel, queries):
+    """Basic (Algorithm 1) on the adjacency-map peel engine."""
+    count = benchmark.pedantic(
+        _run, args=(kernel, queries, basic_search, "dict"), rounds=1, iterations=1
+    )
+    assert count == ROUNDS * len(queries)
+
+
+def test_bench_array_peel_basic(benchmark, kernel, queries):
+    """Basic (Algorithm 1) on the masked-array peel engine."""
+    count = benchmark.pedantic(
+        _run, args=(kernel, queries, basic_search, "array"), rounds=1, iterations=1
+    )
+    assert count == ROUNDS * len(queries)
+
+
+def test_bench_dict_peel_bulk_delete(benchmark, kernel, queries):
+    """BulkDelete (Algorithm 4) on the adjacency-map peel engine."""
+    count = benchmark.pedantic(
+        _run, args=(kernel, queries, bulk_delete_search, "dict"), rounds=1, iterations=1
+    )
+    assert count == ROUNDS * len(queries)
+
+
+def test_bench_array_peel_bulk_delete(benchmark, kernel, queries):
+    """BulkDelete (Algorithm 4) on the masked-array peel engine."""
+    count = benchmark.pedantic(
+        _run, args=(kernel, queries, bulk_delete_search, "array"), rounds=1, iterations=1
+    )
+    assert count == ROUNDS * len(queries)
+
+
+def test_peeling_json_artifact(kernel, queries):
+    """Measure both engines per method and write the JSON trajectory."""
+    rows = []
+    for method_name, function in METHODS:
+        dict_qps = _queries_per_second(kernel, queries, function, "dict")
+        array_qps = _queries_per_second(kernel, queries, function, "array")
+        rows.append(
+            {
+                "method": method_name,
+                "dict_qps": round(dict_qps, 2),
+                "array_qps": round(array_qps, 2),
+                "speedup": round(array_qps / dict_qps, 2),
+            }
+        )
+    payload = {
+        "benchmark": "bench_peeling",
+        "dataset": "dblp-like (registry recipe)",
+        "gate": {"target_speedup": TARGET_SPEEDUP},
+        "rows": rows,
+    }
+    path = os.environ.get("BENCH_PEELING_JSON", "BENCH_peeling.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\npeeling trajectory -> {path}")
+    for row in rows:
+        print(
+            f"{row['method']}: dict {row['dict_qps']:.2f} q/s, "
+            f"array {row['array_qps']:.2f} q/s ({row['speedup']:.2f}x)"
+        )
+    assert all(row["dict_qps"] > 0 and row["array_qps"] > 0 for row in rows)
+
+
+def test_peel_speedup_at_least_2x(kernel, queries):
+    """Acceptance gate: array-peel q/s >= 2x dict-peel q/s on both workloads."""
+    report = []
+    failures = []
+    for method_name, function in METHODS:
+        dict_qps = _queries_per_second(kernel, queries, function, "dict")
+        array_qps = _queries_per_second(kernel, queries, function, "array")
+        speedup = array_qps / dict_qps
+        report.append(
+            f"\n{method_name:12s} dict {dict_qps:8.2f} q/s   "
+            f"array {array_qps:8.2f} q/s   speedup {speedup:5.2f}x"
+        )
+        if speedup < TARGET_SPEEDUP:
+            failures.append(
+                f"{method_name}: array peel ({array_qps:.2f} q/s) is not >= "
+                f"{TARGET_SPEEDUP}x dict peel ({dict_qps:.2f} q/s): {speedup:.2f}x"
+            )
+    print("".join(report))
+    assert not failures, "; ".join(failures)

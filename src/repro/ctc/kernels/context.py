@@ -94,9 +94,13 @@ class QueryKernel:
         "_tau_list",
         "_flat",
         "_sorted",
+        "_sorted_np",
+        "_sorted_keys",
         "_repr_rank",
+        "_repr_rank_np",
         "_vertex_tau",
         "_levels",
+        "_label_array",
         "_edge_order_desc",
         "_edge_u_list",
         "_edge_v_list",
@@ -119,9 +123,13 @@ class QueryKernel:
         self._tau_list: list[int] | None = None
         self._flat: tuple[list[int], list[int], list[int]] | None = None
         self._sorted: tuple[list[int], list[int], list[int], list[int]] | None = None
+        self._sorted_np: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._sorted_keys: np.ndarray | None = None
         self._repr_rank: list[int] | None = None
+        self._repr_rank_np: np.ndarray | None = None
         self._vertex_tau: list[int] | None = None
         self._levels: list[int] | None = None
+        self._label_array: np.ndarray | None = None
         self._edge_order_desc: list[int] | None = None
         self._edge_u_list: list[int] | None = None
         self._edge_v_list: list[int] | None = None
@@ -185,16 +193,23 @@ class QueryKernel:
         return self._repr_rank
 
     @property
-    def sorted_adjacency(self) -> tuple[list[int], list[int], list[int], list[int]]:
+    def repr_rank_array(self) -> np.ndarray:
+        """:attr:`repr_rank` as an ``int64`` array (for vectorized tie-breaks)."""
+        if self._repr_rank_np is None:
+            self._repr_rank_np = np.asarray(self.repr_rank, dtype=np.int64)
+        return self._repr_rank_np
+
+    @property
+    def sorted_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """``(bounds, neighbors, edges, neg_trussness)``: trussness-sorted rows.
 
-        Each row is ordered by decreasing edge trussness, ties by the
-        neighbour's ``repr`` rank — exactly the order
-        :meth:`TrussIndex.incident_edges_at_least` yields.  The qualifying
-        prefix for trussness >= k ends at
-        ``bisect_right(neg_trussness, -k, start, stop)``.
+        The ``numpy`` form of :attr:`sorted_adjacency` (same ordering, same
+        slots), which is what the masked frontier BFS of
+        :mod:`repro.graph.csr_bfs` traverses; combined with
+        :meth:`sorted_row_stops` the qualifying prefix for "trussness >= k"
+        needs no per-row bisect.
         """
-        if self._sorted is None:
+        if self._sorted_np is None:
             csr = self.csr
             num_nodes = csr.number_of_nodes()
             row_of_slot = np.repeat(
@@ -214,13 +229,90 @@ class QueryKernel:
                 order = np.argsort(composite, kind="stable")
             else:  # packed key would overflow int64 (graphs beyond ~1e9 slots)
                 order = np.lexsort((rank, neg_tau, row_of_slot))
+            self._sorted_np = (
+                csr.indptr,
+                csr.indices[order],
+                csr.slot_edge[order],
+                neg_tau[order],
+            )
+        return self._sorted_np
+
+    @property
+    def sorted_adjacency(self) -> tuple[list[int], list[int], list[int], list[int]]:
+        """``(bounds, neighbors, edges, neg_trussness)``: trussness-sorted rows.
+
+        Each row is ordered by decreasing edge trussness, ties by the
+        neighbour's ``repr`` rank — exactly the order
+        :meth:`TrussIndex.incident_edges_at_least` yields.  The qualifying
+        prefix for trussness >= k ends at
+        ``bisect_right(neg_trussness, -k, start, stop)``.  Plain-list form
+        of :attr:`sorted_arrays` for the scalar hot loops (the LCTC
+        expansion); both derive from one argsort.
+        """
+        if self._sorted is None:
+            bounds, neighbors, edges, neg_tau = self.sorted_arrays
             self._sorted = (
-                csr.indptr.tolist(),
-                csr.indices[order].tolist(),
-                csr.slot_edge[order].tolist(),
-                neg_tau[order].tolist(),
+                bounds.tolist(),
+                neighbors.tolist(),
+                edges.tolist(),
+                neg_tau.tolist(),
             )
         return self._sorted
+
+    def sorted_row_stops(self, threshold: int):
+        """Row-stop resolver for the "trussness >= ``threshold``" prefixes.
+
+        Returns a callable mapping an id array (a BFS frontier) to the
+        exclusive slot bound where each listed node's qualifying prefix
+        ends inside :attr:`sorted_arrays` — the batch twin of the per-row
+        ``bisect_right(neg_trussness, -threshold, start, stop)`` the scalar
+        consumers run, resolved with one ``searchsorted`` per call against
+        a composite ``(row, neg trussness)`` key (non-decreasing by
+        construction, because rows are laid out in id order and each row is
+        sorted by increasing negated trussness).  Resolving per frontier
+        instead of materializing all-row bound arrays keeps the
+        threshold-sweep BFS cheap even on a freshly derived kernel — only
+        the visited rows ever pay.
+        """
+        if threshold > self.max_trussness:
+            # No edge qualifies anywhere; every prefix is empty.  (Also keeps
+            # the probes below inside their own rows' key ranges.)
+            indptr = self.csr.indptr
+            return lambda frontier: indptr[frontier]
+        if self._sorted_keys is None:
+            csr = self.csr
+            num_nodes = csr.number_of_nodes()
+            row_of_slot = np.repeat(
+                np.arange(num_nodes, dtype=np.int64), np.diff(csr.indptr)
+            )
+            neg_tau = self.sorted_arrays[3]
+            self._sorted_keys = (
+                row_of_slot * (self.max_trussness + 1) + (neg_tau + self.max_trussness)
+            )
+        keys = self._sorted_keys
+        span = self.max_trussness + 1
+        offset = self.max_trussness - threshold
+
+        def stops(frontier: np.ndarray) -> np.ndarray:
+            return np.searchsorted(keys, frontier * span + offset, side="right")
+
+        return stops
+
+    def ensure_incidence(self) -> TriangleIncidence:
+        """Return the snapshot's triangle incidence, enumerating it if absent.
+
+        Snapshots built by a vector-strategy full rebuild share the
+        incidence the rebuild enumerated; a bare kernel (or a bucket-path
+        snapshot) enumerates it here once, on first demand, and caches it —
+        the array peel engine needs it to restrict supports to working
+        subgraphs, and one enumeration amortizes over every query on the
+        snapshot.
+        """
+        if self.incidence is None:
+            from repro.graph.csr_triangles import csr_triangle_incidence
+
+            self.incidence = csr_triangle_incidence(self.csr)
+        return self.incidence
 
     @property
     def vertex_trussness(self) -> list[int]:
@@ -257,12 +349,29 @@ class QueryKernel:
 
     @property
     def edge_order_desc(self) -> list[int]:
-        """Edge ids sorted by decreasing trussness (stable), for FindG0."""
+        """Edge ids sorted by decreasing trussness (stable), for FindG0's
+        scalar union-find sweep (the small-kernel strategy)."""
         if self._edge_order_desc is None:
             self._edge_order_desc = np.argsort(
                 -self.trussness, kind="stable"
             ).tolist()
         return self._edge_order_desc
+
+    @property
+    def label_array(self) -> np.ndarray:
+        """Node labels as an ``object`` array indexed by node id.
+
+        One vectorized gather maps whole id arrays back to label space —
+        how the search entry points materialize communities without a
+        Python ``node_label`` call per member.
+        """
+        if self._label_array is None:
+            labels = self.csr.labels()
+            array = np.empty(len(labels), dtype=object)
+            for position, label in enumerate(labels):
+                array[position] = label
+            self._label_array = array
+        return self._label_array
 
     def __repr__(self) -> str:
         return (

@@ -5,24 +5,40 @@ walks the truss index level by level, BFS-style.  Its *result* is canonical
 — ``k`` is the largest trussness threshold at which the query nodes fall in
 one connected component of the ``{tau(e) >= k}`` subgraph, and ``G0`` is
 exactly that component — so the kernel is free to compute the same object a
-cheaper way: edges are unioned into a disjoint-set forest in **decreasing
-trussness order** (one bucketed sweep over the pre-sorted edge-id array),
-checking query connectivity at each level boundary.  Work is proportional
-to the edges with trussness >= the answer, the same region the index walk
-touches, without the per-level frontier bookkeeping.
+cheaper way, and it picks between **two** result-identical strategies by
+snapshot size:
 
-The component is then extracted with one BFS over the CSR rows restricted
-to qualifying edges.
+* at or above :data:`LEVEL_SEARCH_THRESHOLD` edges, connectivity of ``Q``
+  in ``{tau(e) >= k}`` being *monotone* in ``k`` (lowering the threshold
+  only adds edges) makes the answer a **binary search over the distinct
+  trussness levels**, each probe one masked frontier BFS
+  (:mod:`repro.graph.csr_bfs`) restricted to the qualifying edges with
+  early exit as soon as every query node is reached — O(log levels)
+  vectorized traversals instead of a per-edge Python sweep;
+* below it (notably the per-query *local* kernels the LCTC pipeline
+  decomposes, a few hundred edges each), the numpy round overhead does not
+  amortize, and the classic sweep wins: edges union into a disjoint-set
+  forest in decreasing trussness order, checking query connectivity at
+  each level boundary.
+
+The component is then extracted with a masked frontier BFS over the
+``{tau >= k}`` restriction on either strategy.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import numpy as np
 
 from repro.ctc.kernels.context import QueryKernel
 from repro.exceptions import NoCommunityFoundError, QueryError
+from repro.graph.csr_bfs import masked_bfs
 
-__all__ = ["find_g0", "connected_truss_at_k"]
+__all__ = ["LEVEL_SEARCH_THRESHOLD", "find_g0", "connected_truss_at_k"]
+
+#: Snapshots with at least this many edges answer FindG0 by binary-searching
+#: the trussness levels with masked-BFS probes; smaller ones keep the scalar
+#: union-find sweep (same regime split as the peel and decomposition autos).
+LEVEL_SEARCH_THRESHOLD = 2048
 
 
 def _union_find_parent(parent: list[int], node: int) -> int:
@@ -33,30 +49,109 @@ def _union_find_parent(parent: list[int], node: int) -> int:
     return node
 
 
+def _find_level_scalar(
+    kernel: QueryKernel, query_ids: list[int], upper_bound: int
+) -> int | None:
+    """The small-kernel strategy: one descending union-find sweep.
+
+    Returns the highest level <= ``upper_bound`` connecting ``Q``, or
+    ``None``.  Work is proportional to the edges with trussness >= the
+    answer, without any fixed numpy pass costs.
+    """
+    tau = kernel.tau
+    edge_u = kernel.edge_u
+    edge_v = kernel.edge_v
+    order = kernel.edge_order_desc
+    parent = list(range(kernel.csr.number_of_nodes()))
+    anchor = query_ids[0]
+    others = query_ids[1:]
+
+    position = 0
+    total = len(order)
+    for level in kernel.levels:
+        # Union every edge at this trussness level (the sweep is cumulative).
+        while position < total:
+            edge = order[position]
+            if tau[edge] < level:
+                break
+            root_a = _union_find_parent(parent, edge_u[edge])
+            root_b = _union_find_parent(parent, edge_v[edge])
+            if root_a != root_b:
+                parent[root_b] = root_a
+            position += 1
+        if level > upper_bound:
+            # Lemma 1: no level above min vertex trussness can connect Q.
+            continue
+        anchor_root = _union_find_parent(parent, anchor)
+        if all(_union_find_parent(parent, node) == anchor_root for node in others):
+            return level
+    return None
+
+
+def _find_level_masked(
+    kernel: QueryKernel, query_ids: list[int], upper_bound: int
+) -> int | None:
+    """The large-kernel strategy: binary search with masked-BFS probes."""
+    levels = [level for level in kernel.levels if level <= upper_bound]
+    if not levels or not _query_connected_at_k(kernel, query_ids, levels[-1]):
+        return None
+    # Connectivity is monotone along the (descending) level list: find the
+    # first (= highest-k) connected level by binary search.
+    low, high = 0, len(levels) - 1
+    while low < high:
+        middle = (low + high) // 2
+        if _query_connected_at_k(kernel, query_ids, levels[middle]):
+            high = middle
+        else:
+            low = middle + 1
+    return levels[low]
+
+
+def _query_connected_at_k(
+    kernel: QueryKernel, query_ids: list[int], k: int
+) -> bool:
+    """Is ``Q`` inside one component of the ``{tau(e) >= k}`` subgraph?
+
+    One masked BFS from the first query node, stopping as soon as every
+    other query node has been reached (a query node isolated at this level
+    is simply never reached).
+    """
+    csr = kernel.csr
+    others = query_ids[1:]
+    result = masked_bfs(
+        csr.indptr,
+        csr.indices,
+        query_ids[:1],
+        slot_edge=csr.slot_edge,
+        edge_alive=kernel.trussness >= k,
+        until_reached=others,
+    )
+    return bool((result.distances[others] >= 0).all())
+
+
 def _component_at_k(
     kernel: QueryKernel, root: int, k: int
 ) -> tuple[list[int], list[int]]:
-    """BFS the component of ``root`` in the trussness >= k subgraph.
+    """Frontier-BFS the component of ``root`` in the trussness >= k subgraph.
 
-    Returns sorted node ids and sorted edge ids of the component.
+    Returns sorted node ids and sorted edge ids of the component.  An edge
+    qualifies iff its trussness is >= ``k`` and one endpoint was visited —
+    the BFS traverses exactly the qualifying edges, so a visited endpoint
+    implies a visited edge, and one vectorized mask recovers the component's
+    edge set without per-edge Python probing.
     """
-    bounds, neighbors, edges = kernel.flat
-    tau = kernel.tau
-    seen = {root}
-    queue: deque[int] = deque([root])
-    component_edges: set[int] = set()
-    while queue:
-        node = queue.popleft()
-        for slot in range(bounds[node], bounds[node + 1]):
-            edge = edges[slot]
-            if tau[edge] < k:
-                continue
-            component_edges.add(edge)
-            other = neighbors[slot]
-            if other not in seen:
-                seen.add(other)
-                queue.append(other)
-    return sorted(seen), sorted(component_edges)
+    csr = kernel.csr
+    qualifying = kernel.trussness >= k
+    result = masked_bfs(
+        csr.indptr,
+        csr.indices,
+        [root],
+        slot_edge=csr.slot_edge,
+        edge_alive=qualifying,
+    )
+    visited = result.distances >= 0
+    component_edges = np.nonzero(qualifying & visited[csr.edge_u])[0]
+    return np.nonzero(visited)[0].tolist(), component_edges.tolist()
 
 
 def find_g0(
@@ -90,39 +185,17 @@ def find_g0(
         component_nodes, component_edges = _component_at_k(kernel, node, upper_bound)
         return component_nodes, component_edges, upper_bound
 
-    tau = kernel.tau
-    edge_u = kernel.edge_u
-    edge_v = kernel.edge_v
-    order = kernel.edge_order_desc
-    parent = list(range(kernel.csr.number_of_nodes()))
-    anchor = query_ids[0]
-    others = query_ids[1:]
-
-    position = 0
-    total = len(order)
-    for level in kernel.levels:
-        # Union every edge at this trussness level (the sweep is cumulative).
-        while position < total:
-            edge = order[position]
-            if tau[edge] < level:
-                break
-            root_a = _union_find_parent(parent, edge_u[edge])
-            root_b = _union_find_parent(parent, edge_v[edge])
-            if root_a != root_b:
-                parent[root_b] = root_a
-            position += 1
-        if level > upper_bound:
-            # Lemma 1: no level above min vertex trussness can connect Q.
-            continue
-        anchor_root = _union_find_parent(parent, anchor)
-        if all(_union_find_parent(parent, node) == anchor_root for node in others):
-            component_nodes, component_edges = _component_at_k(kernel, anchor, level)
-            return component_nodes, component_edges, level
-
-    raise NoCommunityFoundError(
-        f"no connected k-truss (k >= 2) contains all query nodes "
-        f"{[kernel.csr.node_label(node) for node in query_ids]!r}"
-    )
+    if kernel.csr.number_of_edges() >= LEVEL_SEARCH_THRESHOLD:
+        answer = _find_level_masked(kernel, query_ids, upper_bound)
+    else:
+        answer = _find_level_scalar(kernel, query_ids, upper_bound)
+    if answer is None:
+        raise NoCommunityFoundError(
+            f"no connected k-truss (k >= 2) contains all query nodes "
+            f"{[kernel.csr.node_label(node) for node in query_ids]!r}"
+        )
+    component_nodes, component_edges = _component_at_k(kernel, query_ids[0], answer)
+    return component_nodes, component_edges, answer
 
 
 def connected_truss_at_k(

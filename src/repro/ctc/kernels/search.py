@@ -15,6 +15,8 @@ from __future__ import annotations
 import time
 from collections.abc import Hashable, Sequence
 
+import numpy as np
+
 from repro.ctc.kernels.context import QueryKernel, validate_query_ids
 from repro.ctc.kernels.find_g0 import connected_truss_at_k, find_g0
 from repro.ctc.kernels.local import expand
@@ -22,17 +24,16 @@ from repro.ctc.kernels.peeling import (
     basic_selector,
     bulk_delete_selector,
     peel,
-    query_distances,
-    subgraph_adjacency,
 )
 from repro.ctc.kernels.steiner import build_truss_steiner_tree, minimum_trussness_of_tree
 from repro.ctc.result import CommunityResult
 from repro.exceptions import NoCommunityFoundError
+from repro.graph.csr_bfs import masked_query_distances
 from repro.graph.csr_triangles import subset_incidence
 from repro.graph.simple_graph import UndirectedGraph
 from repro.trusses.csr_decomposition import (
     DEFAULT_VECTOR_THRESHOLD,
-    csr_truss_decomposition,
+    csr_decompose,
     peel_incidence,
 )
 
@@ -40,15 +41,32 @@ __all__ = ["basic_search", "bulk_delete_search", "lctc_search", "truss_search"]
 
 
 def _graph_from_ids(kernel: QueryKernel, node_ids, edge_ids) -> UndirectedGraph:
-    """Materialize a community (id sets) back into a label-space graph."""
+    """Materialize a community (id sets) back into a label-space graph.
+
+    Vectorized: endpoints gather through the label array, adjacency rows
+    group with one stable argsort, and each neighbour set is built at C
+    speed from its contiguous slice — no per-edge ``add_edge`` calls
+    (:meth:`UndirectedGraph._from_trusted_parts` adopts the result).
+    """
     csr = kernel.csr
-    edge_u, edge_v = kernel.edge_u, kernel.edge_v
-    graph = UndirectedGraph()
-    for node in sorted(node_ids):
-        graph.add_node(csr.node_label(node))
-    for edge in edge_ids:
-        graph.add_edge(csr.node_label(edge_u[edge]), csr.node_label(edge_v[edge]))
-    return graph
+    label_of = kernel.label_array
+    nodes = np.sort(np.fromiter(node_ids, dtype=np.int64, count=len(node_ids)))
+    adjacency: dict = {label_of[node]: set() for node in nodes.tolist()}
+    edges = np.fromiter(edge_ids, dtype=np.int64, count=len(edge_ids))
+    if edges.size:
+        endpoint_u = csr.edge_u[edges]
+        endpoint_v = csr.edge_v[edges]
+        rows = np.concatenate([endpoint_u, endpoint_v])
+        columns = np.concatenate([endpoint_v, endpoint_u])
+        order = np.argsort(rows, kind="stable")
+        rows = rows[order]
+        column_labels = label_of[columns[order]].tolist()
+        boundaries = np.nonzero(np.diff(rows))[0] + 1
+        starts = [0, *boundaries.tolist(), rows.size]
+        row_heads = rows[np.asarray(starts[:-1], dtype=np.int64)].tolist()
+        for head, lo, hi in zip(row_heads, starts, starts[1:]):
+            adjacency[label_of[head]] = set(column_labels[lo:hi])
+    return UndirectedGraph._from_trusted_parts(adjacency, int(edges.size))
 
 
 def _global_search(
@@ -58,6 +76,7 @@ def _global_search(
     selector_factory,
     max_iterations: int | None,
     time_budget_seconds: float | None,
+    peel_engine: str,
 ) -> CommunityResult:
     """The shared Basic/BulkDelete pipeline: FindG0, then greedy peeling."""
     start_time = time.perf_counter()
@@ -73,6 +92,7 @@ def _global_search(
         start_time=start_time,
         time_budget=time_budget_seconds,
         max_iterations=max_iterations,
+        engine=peel_engine,
     )
     elapsed = time.perf_counter() - start_time
     return CommunityResult(
@@ -97,10 +117,12 @@ def basic_search(
     *,
     max_iterations: int | None = None,
     time_budget_seconds: float | None = None,
+    peel_engine: str = "auto",
 ) -> CommunityResult:
     """Algorithm 1 (``Basic``) on arrays: peel the single farthest vertex."""
     return _global_search(
-        kernel, query, "basic", basic_selector, max_iterations, time_budget_seconds
+        kernel, query, "basic", basic_selector, max_iterations,
+        time_budget_seconds, peel_engine,
     )
 
 
@@ -112,6 +134,7 @@ def bulk_delete_search(
     batch_limit: int | None = None,
     max_iterations: int | None = None,
     time_budget_seconds: float | None = None,
+    peel_engine: str = "auto",
 ) -> CommunityResult:
     """Algorithm 4 (``BulkDelete``) on arrays: peel every vertex past the threshold."""
 
@@ -121,7 +144,8 @@ def bulk_delete_search(
         )
 
     return _global_search(
-        kernel, query, "bulk-delete", factory, max_iterations, time_budget_seconds
+        kernel, query, "bulk-delete", factory, max_iterations,
+        time_budget_seconds, peel_engine,
     )
 
 
@@ -130,15 +154,20 @@ def truss_search(kernel: QueryKernel, query: Sequence[Hashable]) -> CommunityRes
     start_time = time.perf_counter()
     labels, query_ids = validate_query_ids(kernel.csr, query)
     g0_nodes, g0_edges, k = find_g0(kernel, query_ids)
-    adjacency = subgraph_adjacency(kernel, g0_nodes, g0_edges)
-    distances = query_distances(adjacency, query_ids)
+    # The graph query distance of G0, straight off the masked frontier BFS
+    # (edge mask = the component's edges; identical maxima to the old
+    # adjacency-map BFS, without materializing the subgraph).
+    g0_mask = np.zeros(kernel.csr.number_of_edges(), dtype=bool)
+    g0_mask[np.asarray(g0_edges, dtype=np.int64)] = True
+    maxima = masked_query_distances(kernel.csr, query_ids, edge_alive=g0_mask)
+    query_distance = float(maxima[np.asarray(g0_nodes, dtype=np.int64)].max())
     elapsed = time.perf_counter() - start_time
     return CommunityResult(
         graph=_graph_from_ids(kernel, g0_nodes, g0_edges),
         query=tuple(labels),
         trussness=k,
         method="truss",
-        query_distance=max(distances.values()) if distances else 0.0,
+        query_distance=query_distance,
         elapsed_seconds=elapsed,
         iterations=0,
     )
@@ -151,6 +180,7 @@ def lctc_search(
     eta: int,
     gamma: float,
     max_trussness_k: int | None = None,
+    peel_engine: str = "auto",
 ) -> CommunityResult:
     """Algorithm 5 (``LCTC``) on arrays: Steiner seed, budgeted expansion,
     local decomposition, conservative bulk shrink."""
@@ -184,8 +214,10 @@ def lctc_search(
         local_incidence = subset_incidence(kernel.incidence, sub.edge_origin)
         local_trussness = peel_incidence(local_incidence)
     else:
-        local_trussness = csr_truss_decomposition(sub.csr)
-    local_kernel = QueryKernel(sub.csr, local_trussness)
+        local_result = csr_decompose(sub.csr)
+        local_trussness = local_result.trussness
+        local_incidence = local_result.incidence  # None from the bucket path
+    local_kernel = QueryKernel(sub.csr, local_trussness, incidence=local_incidence)
     node_origin = sub.node_origin.tolist()
     edge_origin = sub.edge_origin.tolist()
     local_id_of = {old: new for new, old in enumerate(node_origin)}
@@ -198,6 +230,7 @@ def lctc_search(
         # The expansion could not connect Q inside any truss; fall back to
         # the expansion itself (trussness 2), as the dict path does.
         candidate_nodes, candidate_edges = sorted(expanded_nodes), sorted(expanded_edges)
+        local_edges = list(range(sub.csr.number_of_edges()))
         k = 2
     if max_trussness_k is not None and k > max_trussness_k:
         k = max_trussness_k
@@ -208,7 +241,16 @@ def lctc_search(
         except NoCommunityFoundError:
             pass  # keep the unrestricted candidate, as the dict path does
 
-    # Step 4: shrink with the conservative BulkDelete variant.
+    # Step 4: shrink with the conservative BulkDelete variant.  The local
+    # expansion already holds a triangle incidence of the candidate region;
+    # restrict *that* (a subset of a subset, all in expansion-local ids)
+    # and thread it through, so the peel never re-counts its starting
+    # supports from scratch.
+    candidate_incidence = None
+    if local_incidence is not None:
+        candidate_incidence = subset_incidence(
+            local_incidence, np.asarray(sorted(local_edges), dtype=np.int64)
+        )
     outcome = peel(
         kernel,
         candidate_nodes,
@@ -217,6 +259,8 @@ def lctc_search(
         query_ids,
         bulk_delete_selector(kernel, query_ids, threshold_offset=0),
         start_time=start_time,
+        engine=peel_engine,
+        incidence=candidate_incidence,
     )
     elapsed = time.perf_counter() - start_time
     return CommunityResult(

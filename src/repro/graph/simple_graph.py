@@ -86,6 +86,25 @@ class UndirectedGraph:
         clone._num_edges = self._num_edges
         return clone
 
+    @classmethod
+    def _from_trusted_parts(
+        cls, adjacency: dict[Hashable, set[Hashable]], num_edges: int
+    ) -> "UndirectedGraph":
+        """Adopt a pre-built adjacency structure *without* per-edge validation.
+
+        Internal bulk-construction seam for array-side producers (the CSR
+        kernels materializing communities): ``adjacency`` must already be a
+        symmetric simple-graph ``node -> neighbour set`` mapping with
+        ``num_edges`` distinct undirected edges, and ownership transfers to
+        the new graph.  Going through :meth:`add_edge` instead costs two
+        dict probes, two set adds and a counter bump per edge — the
+        dominant cost of materializing large communities.
+        """
+        graph = cls()
+        graph._adj = adjacency
+        graph._num_edges = num_edges
+        return graph
+
     # ------------------------------------------------------------------
     # nodes
     # ------------------------------------------------------------------

@@ -56,6 +56,7 @@ from repro.graph.csr_triangles import (
 __all__ = [
     "CSRDecomposition",
     "DEFAULT_VECTOR_THRESHOLD",
+    "IncidencePeelState",
     "csr_decompose",
     "csr_edge_supports",
     "csr_truss_decomposition",
@@ -147,6 +148,123 @@ def csr_edge_supports(csr: CSRGraph) -> np.ndarray:
     return np.asarray(supports, dtype=np.int64)
 
 
+class IncidencePeelState:
+    """Mutable scratch of a scatter/scan peel over one :class:`TriangleIncidence`.
+
+    Bundles the alive flags, the live support array and the round-lifetime
+    dedup scratch that every incidence-driven peel needs, plus the one
+    frontier-round primitive they share, :meth:`drop_frontier`.  Two peels
+    run on it: the level-synchronous full decomposition
+    (:func:`peel_incidence`, threshold follows the rising level ``k - 2``)
+    and Algorithm 3's deletion cascade in the query-time peel engine
+    (:mod:`repro.ctc.kernels.peeling`, threshold pinned at ``k - 3`` —
+    "support strictly below ``k - 2``" — for the community's fixed ``k``).
+
+    Attributes
+    ----------
+    support:
+        Live per-edge support (a mutable copy of ``incidence.supports``),
+        decremented as triangles die.
+    edge_alive, triangle_alive:
+        Boolean alive flags.  :meth:`drop_frontier` expects the caller to
+        have flagged the frontier's edges dead already (the two peels
+        record different things at that moment — trussness vs. nothing).
+    """
+
+    __slots__ = (
+        "incidence",
+        "support",
+        "edge_alive",
+        "triangle_alive",
+        "_inc_counts",
+        "_triangle_flag",
+        "_edge_flag",
+        "_iota",
+        "_empty",
+    )
+
+    def __init__(self, incidence: TriangleIncidence) -> None:
+        self.incidence = incidence
+        self.support = incidence.supports.copy()
+        self.edge_alive = np.ones(int(incidence.supports.size), dtype=bool)
+        self.triangle_alive = np.ones(incidence.num_triangles, dtype=bool)
+        self._inc_counts = np.diff(incidence.inc_indptr)
+        # Scratch flags for sort-free dedup: scatter ids in, nonzero-scan the
+        # (sorted) distinct ids out, reset only the touched entries.  np.unique
+        # would sort each round's casualty list; the scan is linear and the
+        # arrays are round-lifetime only.
+        self._triangle_flag = np.zeros(incidence.num_triangles, dtype=bool)
+        self._edge_flag = np.zeros(int(incidence.supports.size), dtype=bool)
+        # One reusable iota covering the largest possible gather (every
+        # incidence slot); rounds slice views off it instead of re-running
+        # np.arange.
+        self._iota = np.arange(incidence.inc_triangles.size, dtype=np.int64)
+        self._empty = np.zeros(0, dtype=np.int64)
+
+    def dedup_edges(self, edge_ids: np.ndarray) -> np.ndarray:
+        """Return the distinct ids of ``edge_ids``, sorted, via the flag scratch.
+
+        The same sort-free scatter/scan the rounds use internally, exposed
+        for callers assembling a *seed* frontier (e.g. the edges incident
+        to a peeled vertex, which meet at shared endpoints).
+        """
+        if edge_ids.size == 0:
+            return self._empty
+        self._edge_flag[edge_ids] = True
+        distinct = np.nonzero(self._edge_flag)[0]
+        self._edge_flag[distinct] = False
+        return distinct
+
+    def drop_frontier(self, frontier: np.ndarray, threshold: int) -> np.ndarray:
+        """Kill the frontier's triangles; return the next frontier, deduped.
+
+        ``frontier`` (distinct edge ids, already flagged dead in
+        ``edge_alive`` by the caller) takes its incident still-alive
+        triangles down with it; every dead triangle decrements its
+        surviving corner edges' supports, and the distinct survivors whose
+        support fell to ``<= threshold`` come back as the next frontier.
+        """
+        incidence = self.incidence
+        # Inline segment gather of the frontier's incidence rows (see
+        # TriangleIncidence.triangles_of_edges; one repeat + one arange).
+        counts = self._inc_counts[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            return self._empty
+        offsets = np.cumsum(counts) - counts
+        gather = (
+            np.repeat(incidence.inc_indptr[frontier] - offsets, counts)
+            + self._iota[:total]
+        )
+        casualties = incidence.inc_triangles[gather]
+        casualties = casualties[self.triangle_alive[casualties]]
+        if casualties.size == 0:
+            return self._empty
+        # A triangle touching two frontier edges is gathered twice; the flag
+        # scatter collapses it so it dies (and decrements) exactly once.
+        self._triangle_flag[casualties] = True
+        dead = np.nonzero(self._triangle_flag)[0]
+        self._triangle_flag[dead] = False
+        self.triangle_alive[dead] = False
+        corners = incidence.edges[dead].ravel()
+        corners = corners[self.edge_alive[corners]]
+        if corners.size == 0:
+            return self._empty
+        # A corner listed once per dead triangle containing it is exactly
+        # the decrement bincount must apply — no dedup here.
+        self.support -= np.bincount(corners, minlength=self.support.size)
+        qualifying = corners[self.support[corners] <= threshold]
+        if qualifying.size == 0:
+            return self._empty
+        # Same scatter/scan dedup as the triangle flags: the next frontier
+        # must list each edge once (remaining-count and gather volume both
+        # depend on it).
+        self._edge_flag[qualifying] = True
+        next_frontier = np.nonzero(self._edge_flag)[0]
+        self._edge_flag[next_frontier] = False
+        return next_frontier
+
+
 def peel_incidence(incidence: TriangleIncidence) -> np.ndarray:
     """Level-synchronously peel a triangle-incidence structure to trussness.
 
@@ -157,33 +275,20 @@ def peel_incidence(incidence: TriangleIncidence) -> np.ndarray:
     local re-decomposition).  Per level ``k``, the whole frontier of
     surviving edges with support ``<= k - 2`` is peeled per round until the
     level is exhausted; triangles with a peeled edge die and decrement their
-    surviving edges' supports in bulk.  Returns the ``int64`` trussness
-    array, one entry per edge of the incidence's graph (every value
-    ``>= 2``; triangle-free edges get exactly 2).
+    surviving edges' supports in bulk (the :class:`IncidencePeelState`
+    round primitive).  Returns the ``int64`` trussness array, one entry per
+    edge of the incidence's graph (every value ``>= 2``; triangle-free
+    edges get exactly 2).
     """
     num_edges = int(incidence.supports.size)
     trussness = np.full(num_edges, 2, dtype=np.int64)
     if num_edges == 0:
         return trussness
-    support = incidence.supports.copy()
-    triangle_edges = incidence.edges
-    inc_indptr = incidence.inc_indptr
-    inc_triangles = incidence.inc_triangles
-    inc_counts = np.diff(inc_indptr)
-    triangle_alive = np.ones(incidence.num_triangles, dtype=bool)
-    edge_alive = np.ones(num_edges, dtype=bool)
-    # Scratch flags for sort-free dedup: scatter ids in, nonzero-scan the
-    # (sorted) distinct ids out, reset only the touched entries.  np.unique
-    # would sort each round's casualty list; the scan is linear and the
-    # arrays are round-lifetime only.
-    triangle_flag = np.zeros(incidence.num_triangles, dtype=bool)
-    edge_flag = np.zeros(num_edges, dtype=bool)
-    # One reusable iota covering the largest possible gather (every incidence
-    # slot); rounds slice views off it instead of re-running np.arange.
-    iota = np.arange(incidence.inc_triangles.size, dtype=np.int64)
+    state = IncidencePeelState(incidence)
+    support = state.support
+    edge_alive = state.edge_alive
     remaining = num_edges
     k = 2
-    empty = np.zeros(0, dtype=np.int64)
     # Support only ever *drops*, so after the level-opening full scan every
     # later frontier of the level hides among the edges just decremented —
     # cascade rounds touch O(affected) edges, not O(m).
@@ -201,40 +306,7 @@ def peel_incidence(incidence: TriangleIncidence) -> np.ndarray:
         remaining -= int(frontier.size)
         if remaining == 0:
             break
-        # Inline segment gather of the frontier's incidence rows (see
-        # TriangleIncidence.triangles_of_edges; one repeat + one arange).
-        counts = inc_counts[frontier]
-        total = int(counts.sum())
-        if total == 0:
-            frontier = empty
-            continue
-        offsets = np.cumsum(counts) - counts
-        gather = np.repeat(inc_indptr[frontier] - offsets, counts) + iota[:total]
-        casualties = inc_triangles[gather]
-        frontier = empty
-        casualties = casualties[triangle_alive[casualties]]
-        if casualties.size == 0:
-            continue
-        # A triangle touching two frontier edges is gathered twice; the flag
-        # scatter collapses it so it dies (and decrements) exactly once.
-        triangle_flag[casualties] = True
-        dead = np.nonzero(triangle_flag)[0]
-        triangle_flag[dead] = False
-        triangle_alive[dead] = False
-        corners = triangle_edges[dead].ravel()
-        corners = corners[edge_alive[corners]]
-        if corners.size:
-            # A corner listed once per dead triangle containing it is exactly
-            # the decrement bincount must apply — no dedup here.
-            support -= np.bincount(corners, minlength=num_edges)
-            qualifying = corners[support[corners] <= k - 2]
-            if qualifying.size:
-                # Same scatter/scan dedup as the triangle flags: the next
-                # frontier must list each edge once (remaining-count and
-                # gather volume both depend on it).
-                edge_flag[qualifying] = True
-                frontier = np.nonzero(edge_flag)[0]
-                edge_flag[frontier] = False
+        frontier = state.drop_frontier(frontier, k - 2)
     return trussness
 
 

@@ -199,6 +199,222 @@ class TestKernelDetails:
         # Baselines read snapshot.graph directly; no dict index is forced.
         assert not snapshot.has_index()
 
+    def test_array_peel_forced_through_search_matches_dict_index(self, monkeypatch):
+        """With the array threshold floored, every snapshot search peels on
+        masks + incidence — and still matches the dict-index path exactly."""
+        import repro.ctc.kernels.peeling as peeling
+
+        monkeypatch.setattr(peeling, "DEFAULT_ARRAY_THRESHOLD", 0)
+        graph = relaxed_caveman_graph(3, 6, 0.3, seed=11)
+        index = TrussIndex(graph)
+        snapshot = CTCEngine(graph).snapshot()
+        for query in ([0, 1], [5], [2, 9, 14]):
+            for method, kwargs in METHODS:
+                assert outcome(snapshot, query, method, **kwargs) == outcome(
+                    index, query, method, **kwargs
+                ), (method, query)
+
+
+class TestPeelEngineEquivalence:
+    """The array peel engine == the dict peel engine, bit for bit."""
+
+    @common_settings
+    @given(data=graphs_and_queries())
+    def test_array_vs_dict_peel_all_methods(self, data):
+        from repro.ctc.kernels import search as kernel_search
+
+        graph, queries = data
+        kernel = CTCEngine(graph).snapshot().kernel
+        runs = (
+            (kernel_search.basic_search, {}),
+            (kernel_search.bulk_delete_search, {}),
+            (kernel_search.bulk_delete_search, {"batch_limit": 2}),
+            (kernel_search.lctc_search, {"eta": 8, "gamma": 1.0}),
+        )
+        for query in queries:
+            for function, kwargs in runs:
+                results = {}
+                for engine in ("dict", "array"):
+                    try:
+                        result = function(kernel, query, peel_engine=engine, **kwargs)
+                    except (NoCommunityFoundError, QueryError) as exc:
+                        results[engine] = (type(exc).__name__, str(exc))
+                        continue
+                    results[engine] = (
+                        frozenset(result.nodes),
+                        frozenset(result.graph.edges()),
+                        result.trussness,
+                        result.query_distance,
+                        result.iterations,
+                    )
+                assert results["array"] == results["dict"], (function.__name__, query, kwargs)
+
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        cap=st.sampled_from([0, 1, 3]),
+    )
+    def test_max_iterations_parity_across_engines(self, seed, cap):
+        from repro.ctc.kernels.search import basic_search, bulk_delete_search
+
+        kernel = CTCEngine(erdos_renyi_graph(20, 0.4, seed=seed)).snapshot().kernel
+        for function in (basic_search, bulk_delete_search):
+            via_dict = function(kernel, [0, 1], max_iterations=cap, peel_engine="dict")
+            via_array = function(kernel, [0, 1], max_iterations=cap, peel_engine="array")
+            assert via_array.nodes == via_dict.nodes
+            assert via_array.iterations == via_dict.iterations <= cap
+
+    def test_timeout_parity_across_engines(self):
+        from repro.ctc.kernels.search import basic_search
+
+        kernel = CTCEngine(erdos_renyi_graph(20, 0.4, seed=1)).snapshot().kernel
+        for engine in ("dict", "array"):
+            exhausted = basic_search(
+                kernel, [0, 1], time_budget_seconds=0.0, peel_engine=engine
+            )
+            assert exhausted.extras["timed_out"] is True
+            assert exhausted.contains_query()
+            relaxed = basic_search(
+                kernel, [0, 1], time_budget_seconds=1e9, peel_engine=engine
+            )
+            assert relaxed.extras["timed_out"] is False
+        # A zero budget freezes both engines after the same first iteration.
+        dict_frozen = basic_search(kernel, [0, 1], time_budget_seconds=0.0, peel_engine="dict")
+        array_frozen = basic_search(kernel, [0, 1], time_budget_seconds=0.0, peel_engine="array")
+        assert array_frozen.nodes == dict_frozen.nodes
+        assert array_frozen.iterations == dict_frozen.iterations == 0
+
+    def test_unknown_peel_engine_rejected(self):
+        from repro.ctc.kernels.peeling import basic_selector, peel
+
+        kernel = CTCEngine(complete_graph(5)).snapshot().kernel
+        with pytest.raises(ValueError):
+            peel(
+                kernel,
+                list(range(5)),
+                list(range(10)),
+                2,
+                [0],
+                basic_selector(kernel, [0]),
+                start_time=0.0,
+                engine="simd",
+            )
+
+    def test_threaded_incidence_changes_nothing(self):
+        """peel(incidence=...) (the FindG0/LCTC supports threading) is
+        invisible in the outcome, on both engines."""
+        import time as time_module
+
+        from repro.ctc.kernels.find_g0 import find_g0
+        from repro.ctc.kernels.peeling import bulk_delete_selector, peel
+        from repro.graph.csr_triangles import subset_incidence
+
+        import numpy as np
+
+        kernel = CTCEngine(erdos_renyi_graph(30, 0.35, seed=7)).snapshot().kernel
+        g0_nodes, g0_edges, k = find_g0(kernel, [0, 1])
+        threaded = subset_incidence(
+            kernel.ensure_incidence(), np.asarray(g0_edges, dtype=np.int64)
+        )
+        outcomes = []
+        for engine in ("dict", "array"):
+            for incidence in (None, threaded):
+                run = peel(
+                    kernel,
+                    g0_nodes,
+                    g0_edges,
+                    k,
+                    [0, 1],
+                    bulk_delete_selector(kernel, [0, 1]),
+                    start_time=time_module.perf_counter(),
+                    engine=engine,
+                    incidence=incidence,
+                )
+                outcomes.append(
+                    (run.node_ids, run.edge_ids, run.query_distance, run.iterations)
+                )
+        assert all(entry == outcomes[0] for entry in outcomes[1:])
+
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        limit=st.integers(min_value=1, max_value=6),
+    )
+    def test_top_k_selection_matches_full_sort(self, seed, limit):
+        """The argpartition top-K equals sorted(..., reverse=True)[:limit]."""
+        import numpy as np
+
+        from repro.ctc.kernels.peeling import _top_k_by_distance_rank
+
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(limit + 1, 25))
+        nodes = np.arange(size, dtype=np.int64)
+        distances = rng.integers(0, 5, size=size).astype(np.float64)
+        distances[rng.random(size) < 0.2] = float("inf")
+        ranks = rng.permutation(size).astype(np.int64)
+        picked = _top_k_by_distance_rank(nodes, distances, ranks, limit)
+        assert picked.size == limit
+        expected = sorted(
+            nodes.tolist(),
+            key=lambda node: (distances[node], ranks[node]),
+            reverse=True,
+        )[:limit]
+        assert set(picked.tolist()) == set(expected)
+
+    def test_masked_find_g0_strategy_matches_scalar(self, monkeypatch):
+        """LEVEL_SEARCH_THRESHOLD floored: the binary-search masked strategy
+        must return the same (k, G0) the scalar union-find sweep does."""
+        import importlib
+
+        # The package re-exports find_g0 the *function*, so reach the
+        # module through importlib to monkeypatch its threshold.
+        find_g0_mod = importlib.import_module("repro.ctc.kernels.find_g0")
+
+        for seed in range(12):
+            graph = erdos_renyi_graph(22, 0.35, seed=seed)
+            graph.add_node("isolated")
+            kernel = CTCEngine(graph).snapshot().kernel
+            for query in ([0, 1], [4], [2, 7, 13], [0, "isolated"]):
+                query_ids = [kernel.csr.node_id(node) for node in query]
+                results = {}
+                for name, threshold in (("scalar", 10**9), ("masked", 0)):
+                    monkeypatch.setattr(
+                        find_g0_mod, "LEVEL_SEARCH_THRESHOLD", threshold
+                    )
+                    try:
+                        results[name] = find_g0_mod.find_g0(kernel, query_ids)
+                    except NoCommunityFoundError as exc:
+                        results[name] = (type(exc).__name__, str(exc))
+                assert results["masked"] == results["scalar"], (seed, query)
+
+    def test_masked_steiner_sweep_matches_scalar(self, monkeypatch):
+        """MASKED_SWEEP_THRESHOLD floored: the ordered masked witness-path
+        BFS must recover the exact paths (and hence trees) of the scalar
+        queue — and the whole LCTC pipeline must still match the dict path."""
+        import repro.ctc.kernels.steiner as steiner_mod
+
+        for seed in range(8):
+            graph = relaxed_caveman_graph(3, 7, 0.3, seed=seed)
+            kernel = CTCEngine(graph).snapshot().kernel
+            index = TrussIndex(graph)
+            for query in ([0, 1], [2, 9, 14], [5]):
+                query_ids = [kernel.csr.node_id(node) for node in query]
+                trees = {}
+                for name, threshold in (("scalar", 10**9), ("masked", 0)):
+                    monkeypatch.setattr(
+                        steiner_mod, "MASKED_SWEEP_THRESHOLD", threshold
+                    )
+                    trees[name] = steiner_mod.build_truss_steiner_tree(
+                        kernel, query_ids, gamma=0.3
+                    )
+                assert trees["masked"] == trees["scalar"], (seed, query)
+                # End-to-end: forced-masked LCTC == dict-path LCTC.
+                monkeypatch.setattr(steiner_mod, "MASKED_SWEEP_THRESHOLD", 0)
+                snapshot = CTCEngine(graph).snapshot()
+                assert outcome(snapshot, query, "lctc", eta=10) == outcome(
+                    index, query, "lctc", eta=10
+                ), (seed, query)
+
     def test_lctc_incidence_reuse_matches_all_paths(self, monkeypatch):
         """LCTC re-decomposing its expansion on the snapshot's triangle
         incidence (instead of enumerating the subgraph afresh) changes

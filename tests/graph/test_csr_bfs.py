@@ -1,0 +1,264 @@
+"""Unit and property tests for the masked frontier BFS (:mod:`repro.graph.csr_bfs`).
+
+The contract under test: for any restriction (edge mask, node mask, row
+prefix), the frontier BFS computes exactly the distances a scalar queue BFS
+would, ``-1`` marking unreachable; parents arrays recover valid shortest
+paths; and in ordered mode the parents reproduce the scalar queue's
+first-discovery tie-breaks exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.csr_bfs import (
+    csr_diameter,
+    fold_query_distance,
+    masked_bfs,
+    masked_eccentricity,
+    masked_query_distances,
+    path_from_parents,
+)
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.simple_graph import UndirectedGraph
+from repro.graph.traversal import diameter, eccentricity, query_distances
+
+common_settings = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_INF = float("inf")
+
+
+def _reference_distances(csr: CSRGraph, sources, edge_alive=None, node_alive=None):
+    """Scalar queue BFS over the same restriction (the spec)."""
+    dist = np.full(csr.number_of_nodes(), -1, dtype=np.int64)
+    queue = deque()
+    for source in sources:
+        dist[source] = 0
+        queue.append(int(source))
+    indptr, indices, slot_edge = csr.indptr, csr.indices, csr.slot_edge
+    while queue:
+        node = queue.popleft()
+        for slot in range(int(indptr[node]), int(indptr[node + 1])):
+            if edge_alive is not None and not edge_alive[slot_edge[slot]]:
+                continue
+            other = int(indices[slot])
+            if node_alive is not None and not node_alive[other]:
+                continue
+            if dist[other] < 0:
+                dist[other] = dist[node] + 1
+                queue.append(other)
+    return dist
+
+
+def _graph(seed: int, nodes: int = 18, p: float = 0.3) -> CSRGraph:
+    return CSRGraph.from_graph(erdos_renyi_graph(nodes, p, seed=seed))
+
+
+class TestMaskedBFS:
+    @common_settings
+    @given(seed=st.integers(0, 300), source=st.integers(0, 17))
+    def test_unmasked_matches_scalar_bfs(self, seed, source):
+        csr = _graph(seed)
+        result = masked_bfs(csr.indptr, csr.indices, [source])
+        assert np.array_equal(result.distances, _reference_distances(csr, [source]))
+
+    @common_settings
+    @given(seed=st.integers(0, 300), data=st.data())
+    def test_edge_mask_matches_scalar_bfs(self, seed, data):
+        csr = _graph(seed)
+        alive = np.asarray(
+            data.draw(
+                st.lists(
+                    st.booleans(),
+                    min_size=csr.number_of_edges(),
+                    max_size=csr.number_of_edges(),
+                )
+            ),
+            dtype=bool,
+        )
+        source = data.draw(st.integers(0, csr.number_of_nodes() - 1))
+        result = masked_bfs(
+            csr.indptr, csr.indices, [source], slot_edge=csr.slot_edge, edge_alive=alive
+        )
+        assert np.array_equal(
+            result.distances, _reference_distances(csr, [source], edge_alive=alive)
+        )
+
+    @common_settings
+    @given(seed=st.integers(0, 300), data=st.data())
+    def test_node_mask_matches_scalar_bfs(self, seed, data):
+        csr = _graph(seed)
+        num_nodes = csr.number_of_nodes()
+        alive = np.asarray(
+            data.draw(st.lists(st.booleans(), min_size=num_nodes, max_size=num_nodes)),
+            dtype=bool,
+        )
+        source = data.draw(st.integers(0, num_nodes - 1))
+        alive[source] = True
+        result = masked_bfs(csr.indptr, csr.indices, [source], node_alive=alive)
+        assert np.array_equal(
+            result.distances, _reference_distances(csr, [source], node_alive=alive)
+        )
+
+    @common_settings
+    @given(seed=st.integers(0, 300), data=st.data())
+    def test_multi_source_is_min_over_sources(self, seed, data):
+        csr = _graph(seed)
+        sources = data.draw(
+            st.lists(
+                st.integers(0, csr.number_of_nodes() - 1),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            )
+        )
+        merged = masked_bfs(csr.indptr, csr.indices, sources).distances
+        singles = [
+            masked_bfs(csr.indptr, csr.indices, [source]).distances
+            for source in sources
+        ]
+        for node in range(csr.number_of_nodes()):
+            reachable = [d[node] for d in singles if d[node] >= 0]
+            expected = min(reachable) if reachable else -1
+            assert merged[node] == expected
+
+    @common_settings
+    @given(seed=st.integers(0, 300), source=st.integers(0, 17))
+    def test_parents_paths_are_valid_shortest_paths(self, seed, source):
+        csr = _graph(seed)
+        result = masked_bfs(csr.indptr, csr.indices, [source], track_parents=True)
+        assert result.parents[source] == -1
+        for node in range(csr.number_of_nodes()):
+            if result.distances[node] < 0 or node == source:
+                continue
+            path = path_from_parents(result.parents, node)
+            assert path[0] == source and path[-1] == node
+            assert len(path) - 1 == result.distances[node]
+            for a, b in zip(path, path[1:]):
+                assert csr.has_edge(a, b)
+
+    def test_unreachable_and_isolated_vertices(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b")
+        graph.add_node("c")  # isolated
+        csr = CSRGraph.from_graph(graph)
+        result = masked_bfs(csr.indptr, csr.indices, [csr.node_id("a")])
+        assert result.distances[csr.node_id("b")] == 1
+        assert result.distances[csr.node_id("c")] == -1
+
+    def test_empty_and_singleton_graphs(self):
+        empty = CSRGraph.from_graph(UndirectedGraph())
+        assert masked_bfs(empty.indptr, empty.indices, []).distances.size == 0
+        assert csr_diameter(empty) == 0.0
+        single = UndirectedGraph()
+        single.add_node("only")
+        csr = CSRGraph.from_graph(single)
+        result = masked_bfs(csr.indptr, csr.indices, [0], track_parents=True)
+        assert result.distances.tolist() == [0]
+        assert result.parents.tolist() == [-1]
+        assert csr_diameter(csr) == 0.0
+        assert masked_eccentricity(csr, 0) == 0.0
+
+    def test_no_sources_means_all_unreachable(self):
+        csr = _graph(7)
+        result = masked_bfs(csr.indptr, csr.indices, [])
+        assert (result.distances == -1).all()
+
+    def test_max_depth_truncates(self):
+        csr = _graph(11)
+        full = masked_bfs(csr.indptr, csr.indices, [0]).distances
+        capped = masked_bfs(csr.indptr, csr.indices, [0], max_depth=1).distances
+        for node in range(csr.number_of_nodes()):
+            if full[node] >= 0 and full[node] <= 1:
+                assert capped[node] == full[node]
+            else:
+                assert capped[node] == -1
+
+    def test_until_reached_stops_early_with_final_targets(self):
+        csr = _graph(13)
+        reference = masked_bfs(csr.indptr, csr.indices, [0]).distances
+        reachable = [n for n in range(csr.number_of_nodes()) if reference[n] == 1]
+        result = masked_bfs(csr.indptr, csr.indices, [0], until_reached=reachable[:1])
+        assert result.distances[reachable[0]] == 1
+        # Distances it did record are never wrong, just possibly absent.
+        recorded = result.distances >= 0
+        assert np.array_equal(result.distances[recorded], reference[recorded])
+
+    def test_edge_alive_without_slot_edge_rejected(self):
+        csr = _graph(3)
+        with pytest.raises(ValueError):
+            masked_bfs(
+                csr.indptr,
+                csr.indices,
+                [0],
+                edge_alive=np.ones(csr.number_of_edges(), dtype=bool),
+            )
+
+    @common_settings
+    @given(seed=st.integers(0, 300), source=st.integers(0, 17))
+    def test_ordered_parents_match_scalar_queue_bfs(self, seed, source):
+        """Ordered mode's parents must equal the scalar queue's exactly."""
+        csr = _graph(seed)
+        parents = np.full(csr.number_of_nodes(), -1, dtype=np.int64)
+        dist = np.full(csr.number_of_nodes(), -1, dtype=np.int64)
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for other in csr.neighbor_ids(node).tolist():
+                if dist[other] < 0:
+                    dist[other] = dist[node] + 1
+                    parents[other] = node
+                    queue.append(other)
+        result = masked_bfs(
+            csr.indptr, csr.indices, [source], track_parents=True, ordered=True
+        )
+        assert np.array_equal(result.distances, dist)
+        assert np.array_equal(result.parents, parents)
+
+
+class TestReductions:
+    @common_settings
+    @given(seed=st.integers(0, 300), data=st.data())
+    def test_masked_query_distances_match_dict_path(self, seed, data):
+        graph = erdos_renyi_graph(16, 0.25, seed=seed)
+        csr = CSRGraph.from_graph(graph)
+        query = data.draw(
+            st.lists(st.integers(0, 15), min_size=1, max_size=4, unique=True)
+        )
+        maxima = masked_query_distances(csr, [csr.node_id(label) for label in query])
+        expected = query_distances(graph, query)
+        for label, value in expected.items():
+            assert maxima[csr.node_id(label)] == value
+
+    @common_settings
+    @given(seed=st.integers(0, 300))
+    def test_csr_diameter_and_eccentricity_match_dict_path(self, seed):
+        graph = erdos_renyi_graph(15, 0.3, seed=seed)
+        csr = CSRGraph.from_graph(graph)
+        assert csr_diameter(csr) == diameter(graph)
+        for label in list(graph.nodes())[:4]:
+            assert masked_eccentricity(csr, csr.node_id(label)) == eccentricity(
+                graph, label
+            )
+
+    def test_diameter_fast_path_dispatches_on_csr_input(self):
+        graph = erdos_renyi_graph(30, 0.2, seed=5)
+        csr = CSRGraph.from_graph(graph)
+        assert diameter(csr) == diameter(graph)
+        some = list(graph.nodes())[:3]
+        assert diameter(csr, some) == diameter(graph, some)
+
+    def test_fold_query_distance_accumulates_inf(self):
+        maxima = np.zeros(3)
+        fold_query_distance(maxima, np.asarray([0, 2, -1], dtype=np.int64))
+        assert maxima.tolist() == [0.0, 2.0, _INF]
+        fold_query_distance(maxima, np.asarray([1, 1, 1], dtype=np.int64))
+        assert maxima.tolist() == [1.0, 2.0, _INF]
