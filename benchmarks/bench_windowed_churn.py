@@ -1,0 +1,209 @@
+"""Queries/sec on a sliding-window churn stream: incremental expiry vs rebuild.
+
+This is the acceptance gate for the temporal layer's sliding-window mode.
+The workload is the Enron-style streaming scenario: edges of a dblp-like
+population arrive in a deterministic shuffled order into a
+:class:`~repro.engine.SlidingWindowEngine` whose window covers half the
+population, so every arrival past the fill phase expires the stalest edge;
+each arrival batch is followed by an LCTC query sampled from the live
+window.  Two otherwise identical windowed engines differ only in how the
+read replica absorbs the expiry churn:
+
+* **incremental engine** — default ``delta_threshold``: every arrival's
+  add + expiry deltas are patched into the cached snapshot via
+  ``CSRGraph.apply_delta`` + the batch-deletion pass of
+  :func:`repro.trusses.incremental.incremental_truss_update`.
+* **rebuild engine** — ``delta_threshold=0``: every expiry forces a
+  from-scratch freeze + full truss decomposition before the next query.
+
+Queries run on the dict kernel: its :class:`TrussIndex` is the snapshot
+artifact whose upkeep the two policies treat most differently (patched in
+place by ``TrussIndex.patched`` vs rebuilt from scratch per expiry), so the
+dict path measures the maintenance win head-on.  The csr kernel currently
+re-enumerates its triangle incidence lazily per version on *both* policies,
+which dilutes the ratio with identical work — carrying the incidence
+through ``apply_delta`` is an open roadmap item.
+
+``test_window_speedup_at_least_2x`` gates incremental window maintenance at
+>= 2x the rebuild-per-expiry queries/sec; ``test_policies_agree_on_results``
+pins down that both policies answer the identically-seeded stream
+identically.  ``test_window_json_artifact`` writes the measurements to a
+JSON trajectory file (``BENCH_WINDOW_JSON`` env var, default
+``BENCH_window.json``); the checked-in snapshot at the repo root lets
+future PRs diff windowed throughput.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_windowed_churn.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.datasets.queries import WindowedChurnStream
+from repro.datasets.registry import load_dataset
+from repro.engine import SlidingWindowEngine
+
+#: Queries issued per timed run (each preceded by BATCH arrivals).
+STEPS = 30
+
+#: Arrivals between consecutive queries: each one expires a stale edge once
+#: the window is full, and the per-query delta stays far below the
+#: incremental engine's budget so the patch path keeps engaging.
+BATCH = 1
+
+#: The acceptance gate: incremental >= this multiple of rebuild-per-expiry.
+TARGET_SPEEDUP = 2.0
+
+#: Community-search method under test; lctc is the paper's headline method.
+METHOD = "lctc"
+ETA = 50
+KERNEL = "dict"
+
+STREAM_SEED = 13
+
+
+@pytest.fixture(scope="module")
+def population():
+    """The edge population the window slides across (dblp-like)."""
+    return sorted(load_dataset("dblp-like").graph.edges(), key=repr)
+
+
+@pytest.fixture(scope="module")
+def window(population):
+    return len(population) * 3 // 4
+
+
+def _fresh_engine(population, window, **engine_kwargs):
+    """A windowed engine filled to capacity from an identically-seeded stream.
+
+    Returns the engine together with its stream, positioned just past the
+    fill phase — so the timed region starts with a full window and every
+    subsequent arrival expires an edge.  The warm snapshot and one warm
+    query are issued outside timing for both policies alike; the warm query
+    also materializes the dict-path index, so the incremental engine keeps
+    it patched from the first timed miss on.
+    """
+    stream = WindowedChurnStream(population, seed=STREAM_SEED)
+    engine = SlidingWindowEngine(window=window, **engine_kwargs)
+    stream.feed(engine, window)
+    engine.snapshot()
+    engine.query(stream.sample_query(engine), method=METHOD, eta=ETA, kernel=KERNEL)
+    return engine, stream
+
+
+def _run_windowed_churn(engine, stream) -> tuple[int, list]:
+    """Interleave BATCH arrivals with every query; return (count, results)."""
+    results = []
+    count = 0
+    for _ in range(STEPS):
+        stream.feed(engine, BATCH)
+        query = stream.sample_query(engine)
+        result = engine.query(query, method=METHOD, eta=ETA, kernel=KERNEL)
+        assert result.contains_query()
+        results.append((result.nodes, result.trussness))
+        count += 1
+    return count, results
+
+
+def _queries_per_second(engine, stream) -> float:
+    started = time.perf_counter()
+    count, _ = _run_windowed_churn(engine, stream)
+    return count / (time.perf_counter() - started)
+
+
+def test_bench_rebuild_per_expiry(benchmark, population, window):
+    """Rebuild policy off: every expiry forces a from-scratch snapshot."""
+    engine, stream = _fresh_engine(population, window, delta_threshold=0)
+    count, _ = benchmark.pedantic(
+        _run_windowed_churn, args=(engine, stream), rounds=1, iterations=1
+    )
+    assert count == STEPS
+    assert engine.stats.delta_applies == 0
+    assert engine.stats.full_rebuilds == engine.stats.misses
+
+
+def test_bench_incremental_window(benchmark, population, window):
+    """Default policy: expiry churn is absorbed by patching the snapshot."""
+    engine, stream = _fresh_engine(population, window)
+    count, _ = benchmark.pedantic(
+        _run_windowed_churn, args=(engine, stream), rounds=1, iterations=1
+    )
+    assert count == STEPS
+    # Per-batch deltas sit far below the threshold: every miss after the
+    # warm snapshot is served by the incremental path.
+    assert engine.stats.delta_applies == engine.stats.misses - 1
+    assert engine.stats.full_rebuilds == 1  # the warm-up snapshot only
+
+
+def test_policies_agree_on_results(population, window):
+    """Both maintenance policies must answer the same stream identically."""
+    incremental, incremental_stream = _fresh_engine(population, window)
+    rebuild, rebuild_stream = _fresh_engine(population, window, delta_threshold=0)
+    _, incremental_results = _run_windowed_churn(incremental, incremental_stream)
+    _, rebuild_results = _run_windowed_churn(rebuild, rebuild_stream)
+    assert incremental_results == rebuild_results
+    assert incremental.window_edges() == rebuild.window_edges()
+    assert incremental.stats.delta_applies > 0
+
+
+def test_window_json_artifact(population, window):
+    """Measure both policies and write the JSON trajectory."""
+    incremental, incremental_stream = _fresh_engine(population, window)
+    rebuild, rebuild_stream = _fresh_engine(population, window, delta_threshold=0)
+    incremental_qps = _queries_per_second(incremental, incremental_stream)
+    rebuild_qps = _queries_per_second(rebuild, rebuild_stream)
+    payload = {
+        "benchmark": "bench_windowed_churn",
+        "dataset": "dblp-like (registry recipe)",
+        "window": window,
+        "steps": STEPS,
+        "arrivals_per_query": BATCH,
+        "gate": {"target_speedup": TARGET_SPEEDUP},
+        "rows": [
+            {
+                "policy": "rebuild-per-expiry",
+                "queries_per_sec": round(rebuild_qps, 2),
+            },
+            {
+                "policy": "incremental-window",
+                "queries_per_sec": round(incremental_qps, 2),
+                "speedup": round(incremental_qps / rebuild_qps, 2),
+            },
+        ],
+    }
+    path = os.environ.get("BENCH_WINDOW_JSON", "BENCH_window.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"\nwindow trajectory -> {path}"
+        f"\nrebuild per expiry: {rebuild_qps:8.2f} queries/sec"
+        f"\nincremental window: {incremental_qps:8.2f} queries/sec "
+        f"({incremental_qps / rebuild_qps:.2f}x)"
+    )
+    assert rebuild_qps > 0 and incremental_qps > 0
+
+
+def test_window_speedup_at_least_2x(population, window):
+    """Acceptance gate: incremental window q/s >= 2x rebuild-per-expiry q/s."""
+    rebuild, rebuild_stream = _fresh_engine(population, window, delta_threshold=0)
+    incremental, incremental_stream = _fresh_engine(population, window)
+
+    rebuild_qps = _queries_per_second(rebuild, rebuild_stream)
+    incremental_qps = _queries_per_second(incremental, incremental_stream)
+
+    print(
+        f"\nrebuild per expiry: {rebuild_qps:8.2f} queries/sec"
+        f"\nincremental window: {incremental_qps:8.2f} queries/sec"
+        f"\nspeedup:            {incremental_qps / rebuild_qps:8.2f}x"
+    )
+    assert incremental_qps >= TARGET_SPEEDUP * rebuild_qps, (
+        f"incremental window maintenance ({incremental_qps:.2f} q/s) is not >= "
+        f"{TARGET_SPEEDUP}x rebuild-per-expiry ({rebuild_qps:.2f} q/s)"
+    )

@@ -15,6 +15,8 @@ Examples
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --kernel dict
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --mutate-every 5
+    ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --mutate-every 5 --at-version 0
+    ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --window 500
     ctc-search experiment table2
     ctc-search experiment fig12 --queries 10
 
@@ -22,7 +24,13 @@ The ``--engine`` family of flags exposes the delta-propagation pipeline:
 ``--cache-size`` and ``--delta-threshold`` are the engine's snapshot-LRU
 and rebuild-policy knobs, and ``--mutate-every N`` interleaves one edge
 mutation every N queries (a mixed read/write workload served through the
-delta path instead of full snapshot rebuilds).  ``--kernel`` picks the
+delta path instead of full snapshot rebuilds).  The temporal layer rides
+on the same log: ``--at-version V`` pins every query at historical store
+version ``V`` (time-travel reads that stay put while ``--mutate-every``
+advances the store), and ``--window W`` serves the queries from a
+:class:`~repro.engine.SlidingWindowEngine` that retains only the ``W``
+most recently inserted edges, expiring the rest through incremental truss
+maintenance.  ``--kernel`` picks the
 query execution path on engine snapshots: ``csr`` (the default with
 ``--engine``) runs the CTC methods on the array kernels of
 :mod:`repro.ctc.kernels`, ``dict`` forces the classic dict path; results
@@ -41,7 +49,13 @@ from collections.abc import Sequence
 
 from repro.ctc.api import available_methods, search
 from repro.datasets.queries import EdgeChurn
-from repro.engine import DEFAULT_CACHE_SIZE, DEFAULT_DELTA_THRESHOLD, CTCEngine
+from repro.engine import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_DELTA_THRESHOLD,
+    CTCEngine,
+    SlidingWindowEngine,
+)
+from repro.exceptions import VersionEvictedError
 from repro.experiments import figures, tables
 from repro.experiments.config import QUICK_CONFIG
 from repro.experiments.reporting import format_table
@@ -143,6 +157,28 @@ def build_parser() -> argparse.ArgumentParser:
             "--engine)"
         ),
     )
+    search_parser.add_argument(
+        "--at-version",
+        type=int,
+        default=None,
+        metavar="V",
+        help=(
+            "time-travel read: pin every query at historical store version V "
+            "(resolved through the engine's delta log; evicted versions fail "
+            "with the retained range; requires --engine)"
+        ),
+    )
+    search_parser.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        metavar="W",
+        help=(
+            "sliding-window mode: retain only the W most recently inserted "
+            "edges, expiring older ones through incremental truss maintenance "
+            "(requires --engine; the loaded graph seeds the window)"
+        ),
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper's tables/figures on the synthetic datasets"
@@ -169,16 +205,27 @@ def _run_search(args: argparse.Namespace) -> int:
         raise SystemExit("--kernel csr requires --engine (the kernels run on engine snapshots)")
     if args.decomp and not args.engine:
         raise SystemExit("--decomp requires --engine (it picks the snapshot rebuild strategy)")
+    if args.at_version is not None and not args.engine:
+        raise SystemExit("--at-version requires --engine (only the delta log holds history)")
+    if args.at_version is not None and args.at_version < 0:
+        raise SystemExit("--at-version must be >= 0")
+    if args.window < 0:
+        raise SystemExit("--window must be >= 1 (0 disables windowing)")
+    if args.window and not args.engine:
+        raise SystemExit("--window requires --engine (expiry runs through the delta log)")
     kernel = args.kernel or ("csr" if args.engine else "dict")
     graph = read_edge_list(args.graph)
     if args.engine:
-        target = CTCEngine(
-            graph,
+        engine_kwargs = dict(
             copy=False,
             cache_size=args.cache_size,
             delta_threshold=args.delta_threshold,
             decomp=args.decomp or "auto",
         )
+        if args.window:
+            target = SlidingWindowEngine(graph, window=args.window, **engine_kwargs)
+        else:
+            target = CTCEngine(graph, **engine_kwargs)
     else:
         target = graph
     mutator = None
@@ -190,12 +237,25 @@ def _run_search(args: argparse.Namespace) -> int:
                 "query node"
             )
     started = time.perf_counter()
-    for iteration in range(args.repeat):
-        if mutator is not None and iteration and iteration % args.mutate_every == 0:
-            mutator.step()
-        result = search(
-            target, args.query, method=args.method, eta=args.eta, gamma=args.gamma, kernel=kernel
-        )
+    try:
+        for iteration in range(args.repeat):
+            if mutator is not None and iteration and iteration % args.mutate_every == 0:
+                mutator.step()
+            result = search(
+                target,
+                args.query,
+                method=args.method,
+                eta=args.eta,
+                gamma=args.gamma,
+                kernel=kernel,
+                at_version=args.at_version,
+            )
+    except VersionEvictedError as error:
+        raise SystemExit(f"--at-version: {error}") from None
+    except ValueError as error:
+        if args.at_version is not None:
+            raise SystemExit(f"--at-version: {error}") from None
+        raise
     elapsed = time.perf_counter() - started
     print(f"method:        {result.method}")
     print(f"trussness:     {result.trussness}")
@@ -217,6 +277,17 @@ def _run_search(args: argparse.Namespace) -> int:
             f"engine cache:  {stats.hits} hits, {stats.misses} misses "
             f"({stats.delta_applies} delta applies, {stats.full_rebuilds} full rebuilds)"
         )
+        if args.at_version is not None or stats.time_travel_reads:
+            retained = target.retained_versions()
+            print(
+                f"time travel:   {stats.time_travel_reads} pinned reads, "
+                f"retained versions {retained[0]}..{retained[1]}"
+            )
+        if args.window:
+            print(
+                f"window:        {len(target.window_edges())}/{target.window} live edges "
+                f"(version {target.version})"
+            )
     return 0
 
 

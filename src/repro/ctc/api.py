@@ -60,6 +60,7 @@ def build_engine(
     cache_size: int | None = None,
     delta_threshold: float | None = None,
     decomp: str | None = None,
+    window: int | None = None,
     copy: bool = True,
 ) -> "CTCEngine":
     """Build (and return) a :class:`~repro.engine.CTCEngine` over ``graph``.
@@ -68,10 +69,14 @@ def build_engine(
     served from cached CSR/TrussIndex snapshots, and mutations issued
     through the engine propagate to those snapshots as structured
     :class:`~repro.graph.delta.GraphDelta` batches (patched in place while
-    small, rebuilt from scratch past ``delta_threshold``).  ``None`` keeps
-    an engine default; see :class:`~repro.engine.CTCEngine` for the knobs.
+    small, rebuilt from scratch past ``delta_threshold``).  ``window``
+    selects the sliding-window mode instead: the returned
+    :class:`~repro.engine.SlidingWindowEngine` retains only the most
+    recently inserted ``window`` edges and expires the rest incrementally.
+    ``None`` keeps an engine default; see :class:`~repro.engine.CTCEngine`
+    for the knobs.
     """
-    from repro.engine import CTCEngine
+    from repro.engine import CTCEngine, SlidingWindowEngine
 
     kwargs: dict = {"copy": copy}
     if cache_size is not None:
@@ -80,6 +85,8 @@ def build_engine(
         kwargs["delta_threshold"] = delta_threshold
     if decomp is not None:
         kwargs["decomp"] = decomp
+    if window is not None:
+        return SlidingWindowEngine(graph, window=window, **kwargs)
     return CTCEngine(graph, **kwargs)
 
 
@@ -93,6 +100,7 @@ def search(
     max_trussness_k: int | None = None,
     time_budget_seconds: float | None = None,
     kernel: str = "csr",
+    at_version: int | None = None,
 ) -> CommunityResult:
     """Find a community containing ``query`` in ``graph``.
 
@@ -123,6 +131,12 @@ def search(
         through the snapshot's lazily built :class:`TrussIndex`.  Both
         return identical communities; plain graphs and prebuilt indexes
         always use the dict path.
+    at_version:
+        Pin the read to a historical store version (a time-travel read via
+        :meth:`~repro.engine.CTCEngine.snapshot_at`).  Only valid when
+        ``graph`` is a :class:`~repro.engine.CTCEngine`; raises
+        :class:`~repro.exceptions.VersionEvictedError` when the version has
+        aged out of the engine's delta log.
 
     Returns
     -------
@@ -141,19 +155,23 @@ def search(
         raise ConfigurationError(
             f"unknown kernel {kernel!r}; expected 'csr' or 'dict'"
         )
+    # Imported lazily: repro.engine depends on this module for search().
+    from repro.engine import CTCEngine, EngineSnapshot
+
+    if at_version is not None and not isinstance(graph, CTCEngine):
+        raise ConfigurationError(
+            "at_version requires a CTCEngine input (only the engine's delta "
+            "log can materialize historical versions)"
+        )
     snapshot = None
     if isinstance(graph, TrussIndex):
         index = graph
+    elif isinstance(graph, CTCEngine):
+        snapshot = graph.snapshot_at(at_version)
+    elif isinstance(graph, EngineSnapshot):
+        snapshot = graph
     else:
-        # Imported lazily: repro.engine depends on this module for search().
-        from repro.engine import CTCEngine, EngineSnapshot
-
-        if isinstance(graph, CTCEngine):
-            snapshot = graph.snapshot()
-        elif isinstance(graph, EngineSnapshot):
-            snapshot = graph
-        else:
-            index = TrussIndex(graph)
+        index = TrussIndex(graph)
     if method in _BASELINE_METHODS:
         # The baselines only ever need the frozen graph, never an index, so
         # dispatch them before the kernel knob can force a lazy index build.

@@ -17,6 +17,12 @@ exactly one community.
 a deterministic stream of single-edge mutations against a
 :class:`~repro.engine.CTCEngine`-like store, shared by the CLI's
 ``--mutate-every`` mode and ``benchmarks/bench_mixed_workload.py``.
+
+:class:`WindowedChurnStream` generates the *temporal* workload: a
+deterministic arrival order over a fixed edge population, feeding a
+:class:`~repro.engine.SlidingWindowEngine` so the live graph slides across
+the population (``benchmarks/bench_windowed_churn.py`` and the CLI's
+``--window`` mode).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.graph.traversal import bfs_distances
 __all__ = [
     "QueryWorkloadGenerator",
     "EdgeChurn",
+    "WindowedChurnStream",
     "random_query_sets",
     "degree_rank_query_sets",
     "inter_distance_query_sets",
@@ -109,6 +116,89 @@ class EdgeChurn:
             self._engine.add_edge(*self._removed.popleft())
             return True
         return False
+
+
+class _EdgeIngestingStore(Protocol):
+    """What :class:`WindowedChurnStream` needs from its target."""
+
+    @property
+    def graph(self) -> UndirectedGraph: ...
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None: ...
+
+
+class WindowedChurnStream:
+    """Deterministic edge-arrival stream for sliding-window workloads.
+
+    The stream shuffles a fixed edge population once (seeded) and feeds it
+    to a window-maintaining store in that order, cycling back to the start
+    when exhausted — so a long run keeps re-inserting edges whose earlier
+    copies have expired, and the live window slides across the population
+    forever.  Two stores fed from identically-seeded streams see the exact
+    same arrival order, which is what lets
+    ``benchmarks/bench_windowed_churn.py`` compare maintenance policies on
+    the same workload.
+
+    Queries are sampled from the *live* graph (:meth:`sample_query` picks
+    the endpoints of present edges), so every generated query is answerable
+    against the current window.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Hashable, Hashable]],
+        *,
+        seed: int = 0,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._edges = sorted(edges, key=repr)
+        if not self._edges:
+            raise ConfigurationError("cannot stream over an empty edge population")
+        self._rng.shuffle(self._edges)
+        self._cursor = 0
+
+    @property
+    def population(self) -> int:
+        """How many distinct edges the stream cycles over."""
+        return len(self._edges)
+
+    def feed(self, store: _EdgeIngestingStore, count: int) -> int:
+        """Ingest the next ``count`` arrivals into ``store``; return ``count``."""
+        for _ in range(count):
+            u, v = self._edges[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._edges)
+            store.add_edge(u, v)
+        return count
+
+    def sample_query(self, store: _EdgeIngestingStore, query_size: int = 2) -> list[Hashable]:
+        """Return ``query_size`` nodes from the live graph, seeded from one edge.
+
+        The first two nodes are the endpoints of a randomly drawn present
+        edge (guaranteeing a connected anchor); further nodes extend along
+        present edges of nodes already picked when possible.  Raises
+        :class:`ConfigurationError` when the live graph has no edges.
+        """
+        if query_size < 1:
+            raise ConfigurationError("query size must be at least 1")
+        live = sorted(store.graph.edges(), key=repr)
+        if not live:
+            raise ConfigurationError("cannot sample a query from an edgeless window")
+        u, v = live[self._rng.randrange(len(live))]
+        picked: list[Hashable] = [u, v][:query_size]
+        while len(picked) < query_size:
+            frontier = sorted(
+                {
+                    other
+                    for node in picked
+                    for other in store.graph.neighbors(node)
+                    if other not in picked
+                },
+                key=repr,
+            )
+            if not frontier:
+                break
+            picked.append(frontier[self._rng.randrange(len(frontier))])
+        return picked
 
 
 class QueryWorkloadGenerator:

@@ -15,11 +15,13 @@ from repro.engine.core import (
     EngineSnapshot,
     EngineStats,
 )
+from repro.engine.window import SlidingWindowEngine
 
 __all__ = [
     "CTCEngine",
     "EngineSnapshot",
     "EngineStats",
+    "SlidingWindowEngine",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_DELTA_THRESHOLD",
     "DEFAULT_DELTA_LOG_LIMIT",

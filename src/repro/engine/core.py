@@ -43,6 +43,25 @@ equality — so the policy is purely a performance decision, exposed through
 the ``delta_threshold`` / ``delta_log_limit`` / ``cache_size`` knobs (CLI:
 ``--delta-threshold`` / ``--cache-size``).
 
+Time-travel reads
+-----------------
+The delta log is bidirectional: every logged
+:class:`~repro.graph.delta.GraphDelta` has an exact
+:meth:`~repro.graph.delta.GraphDelta.inverted` counterpart, so any version
+the log still covers can be re-materialized — not just the current one.
+:meth:`CTCEngine.snapshot_at` (and ``query(..., at_version=v)``) resolves a
+pinned historical version ``v`` against the **nearest cached snapshot on
+either side**: an older cached version replays the log *forward* through
+composed deltas, a newer one unwinds it *backward* through composed
+inverses, and when no cached base is within the ``delta_threshold`` budget
+the store itself is unwound to the version-``v`` graph and rebuilt from
+scratch.  All three paths produce bit-identical snapshots
+(``tests/engine/test_time_travel.py``).  Versions trimmed past
+``delta_log_limit`` are unrecoverable and raise
+:class:`~repro.exceptions.VersionEvictedError` naming the retained range
+(:meth:`CTCEngine.retained_versions`) — never a silent rebuild of some
+other version.
+
 Caching / invalidation contract
 -------------------------------
 * The store carries a monotonically increasing **version**; every mutation
@@ -72,7 +91,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.ctc.result import CommunityResult
-from repro.exceptions import StaleMaintainerError
+from repro.exceptions import StaleMaintainerError, VersionEvictedError
 from repro.graph.csr import CSRGraph
 from repro.graph.csr_triangles import TriangleIncidence
 from repro.graph.delta import GraphDelta
@@ -96,6 +115,18 @@ DEFAULT_DELTA_THRESHOLD = 0.25
 
 #: Default number of per-mutation deltas retained in the log.
 DEFAULT_DELTA_LOG_LIMIT = 128
+
+
+def _apply_delta_to_graph(graph: UndirectedGraph, delta: GraphDelta) -> None:
+    """Mutate ``graph`` in place per ``delta`` (normalized against ``graph``)."""
+    for node in delta.added_nodes:
+        graph.add_node(node)
+    for u, v in delta.added_edges:
+        graph.add_edge(u, v)
+    for u, v in delta.removed_edges:
+        graph.remove_edge(u, v)
+    for node in delta.removed_nodes:
+        graph.remove_node(node)
 
 
 class EngineSnapshot:
@@ -216,6 +247,7 @@ class EngineStats:
     invalidations: int = 0
     delta_applies: int = 0
     full_rebuilds: int = 0
+    time_travel_reads: int = 0
     build_seconds: float = field(default=0.0)
 
     def as_dict(self) -> dict[str, float]:
@@ -227,6 +259,7 @@ class EngineStats:
             "invalidations": self.invalidations,
             "delta_applies": self.delta_applies,
             "full_rebuilds": self.full_rebuilds,
+            "time_travel_reads": self.time_travel_reads,
             "build_seconds": self.build_seconds,
         }
 
@@ -473,12 +506,78 @@ class CTCEngine:
             built = self._build_full(version)
             self.stats.full_rebuilds += 1
         self.stats.build_seconds += time.perf_counter() - started
+        self._store(built)
+        return built
 
-        self._cache[version] = built
+    def retained_versions(self) -> tuple[int, int]:
+        """Return the inclusive ``(oldest, newest)`` version range still readable.
+
+        The newest retained version is the current one; the oldest is one
+        *before* the oldest logged delta (unwinding the log backwards from
+        the live store stops there).  With the delta log disabled only the
+        current version is readable.
+        """
+        if self._delta_log:
+            return next(iter(self._delta_log)) - 1, self._version
+        return self._version, self._version
+
+    def snapshot_at(self, version: int | None = None) -> EngineSnapshot:
+        """Return the snapshot pinned at ``version`` (a time-travel read).
+
+        ``None`` or the current version defers to :meth:`snapshot`.  A
+        historical version is materialized from the nearest cached snapshot
+        on either side of it — forward through composed log deltas, or
+        backward through their composed inverses — falling back to unwinding
+        the live store and decomposing from scratch when no cached base is
+        within the ``delta_threshold`` budget.  The result is cached like
+        any other snapshot, so repeated reads at one pinned version build it
+        once.
+
+        Raises
+        ------
+        VersionEvictedError
+            If ``version`` predates the retained log window (see
+            :meth:`retained_versions`).
+        ValueError
+            If ``version`` is negative or has not been produced yet.
+        """
+        if version is None or version == self._version:
+            return self.snapshot()
+        if version < 0 or version > self._version:
+            raise ValueError(
+                f"version {version} does not exist; the store is at "
+                f"version {self._version}"
+            )
+        retained = self.retained_versions()
+        if version < retained[0]:
+            raise VersionEvictedError(version, retained)
+
+        cached = self._cache.get(version)
+        if cached is not None:
+            self.stats.hits += 1
+            self._cache.move_to_end(version)
+            return cached
+
+        self.stats.misses += 1
+        self.stats.time_travel_reads += 1
+        started = time.perf_counter()
+        base = self._temporal_base(version)
+        if base is not None:
+            built = self._build_from_delta(*base, version)
+            self.stats.delta_applies += 1
+        else:
+            built = self._build_full(version)
+            self.stats.full_rebuilds += 1
+        self.stats.build_seconds += time.perf_counter() - started
+        self._store(built)
+        return built
+
+    def _store(self, built: EngineSnapshot) -> None:
+        """Insert ``built`` into the LRU, evicting the stalest overflow."""
+        self._cache[built.version] = built
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
             self.stats.evictions += 1
-        return built
 
     def _delta_base(self, version: int) -> tuple[EngineSnapshot, GraphDelta] | None:
         """Return the newest cached snapshot the policy allows patching from.
@@ -510,9 +609,54 @@ class CTCEngine:
             # the net delta, so keep looking.
         return None
 
-    def _build_full(self, version: int) -> EngineSnapshot:
-        """Freeze the store and decompose it from scratch (the rebuild pipeline).
+    def _temporal_base(self, version: int) -> tuple[EngineSnapshot, GraphDelta] | None:
+        """Return the cheapest cached snapshot a pinned read can replay from.
 
+        Unlike :meth:`_delta_base`, bases on *both* sides of ``version``
+        qualify: older ones compose log deltas forward, newer ones compose
+        the inverted deltas newest-first (backward replay).  Among the bases
+        whose composed delta fits the ``delta_threshold`` budget, the one
+        with the smallest composed delta wins; ``None`` means no cached base
+        qualifies and the caller must rebuild from the unwound store.
+        """
+        if self._delta_threshold <= 0 or not self._delta_log_limit:
+            return None
+        best: tuple[EngineSnapshot, GraphDelta] | None = None
+        for base_version, base in self._cache.items():
+            if base_version == version:
+                continue
+            older, newer = sorted((base_version, version))
+            deltas = [self._delta_log.get(step) for step in range(older + 1, newer + 1)]
+            if any(delta is None for delta in deltas):
+                continue
+            if base_version < version:
+                composed = GraphDelta.chain(deltas)
+            else:
+                composed = GraphDelta.chain(delta.inverted() for delta in reversed(deltas))
+            budget = self._delta_threshold * max(1, base.csr.number_of_edges())
+            if composed.size() > budget:
+                continue
+            if best is None or composed.size() < best[1].size():
+                best = (base, composed)
+        return best
+
+    def _graph_at(self, version: int) -> UndirectedGraph:
+        """Return a private copy of the store's graph as of ``version``.
+
+        Unwinds the live store backwards by applying the inverted log
+        deltas newest-first; the caller guarantees ``version`` lies inside
+        :meth:`retained_versions`.
+        """
+        frozen = self._graph.copy()
+        for step in range(self._version, version, -1):
+            _apply_delta_to_graph(frozen, self._delta_log[step].inverted())
+        return frozen
+
+    def _build_full(self, version: int) -> EngineSnapshot:
+        """Freeze the store at ``version`` and decompose it from scratch.
+
+        ``version`` is normally the current one (a plain copy of the store);
+        a historical version is first reconstructed by :meth:`_graph_at`.
         Runs triangle enumeration + decomposition once via
         :func:`~repro.trusses.csr_decomposition.csr_decompose` (strategy
         from the ``decomp`` knob) and hands every artifact of the pass —
@@ -523,7 +667,7 @@ class CTCEngine:
         :attr:`EngineSnapshot.index` materializes it on first dict-path
         access.
         """
-        frozen = self._graph.copy()
+        frozen = self._graph.copy() if version == self._version else self._graph_at(version)
         csr = CSRGraph.from_graph(frozen)
         result = csr_decompose(csr, method=self._decomp)
         return EngineSnapshot(
@@ -556,14 +700,7 @@ class CTCEngine:
             return clone
 
         frozen = base.graph.copy()
-        for node in delta.added_nodes:
-            frozen.add_node(node)
-        for u, v in delta.added_edges:
-            frozen.add_edge(u, v)
-        for u, v in delta.removed_edges:
-            frozen.remove_edge(u, v)
-        for node in delta.removed_nodes:
-            frozen.remove_node(node)
+        _apply_delta_to_graph(frozen, delta)
 
         patch = base.csr.apply_delta(delta)
         trussness, changed = incremental_truss_update(
@@ -614,20 +751,25 @@ class CTCEngine:
         method: str = "lctc",
         *,
         kernel: str = "csr",
+        at_version: int | None = None,
         **kwargs,
     ) -> CommunityResult:
-        """Answer one CTC/baseline query from the current snapshot.
+        """Answer one CTC/baseline query from the current (or a pinned) snapshot.
 
         ``method`` and keyword arguments are those of
         :func:`repro.ctc.api.search`.  ``kernel`` selects the execution
         path: ``"csr"`` (default) runs the CTC methods on the snapshot's
         array kernels, ``"dict"`` forces the classic dict path through the
-        snapshot's (lazily built) :class:`TrussIndex`.  Either way no
-        per-query decomposition happens.
+        snapshot's (lazily built) :class:`TrussIndex`.  ``at_version`` pins
+        the read to a historical store version via :meth:`snapshot_at` (a
+        time-travel read; ``None`` reads the current version).  Either way
+        no per-query decomposition happens.
         """
         from repro.ctc.api import search
 
-        return search(self.snapshot(), query, method=method, kernel=kernel, **kwargs)
+        return search(
+            self.snapshot_at(at_version), query, method=method, kernel=kernel, **kwargs
+        )
 
     def query_batch(
         self,
@@ -635,17 +777,19 @@ class CTCEngine:
         method: str = "lctc",
         *,
         kernel: str = "csr",
+        at_version: int | None = None,
         **kwargs,
     ) -> list[CommunityResult]:
         """Answer many queries against one pinned snapshot.
 
         The snapshot is resolved once up front, so every query in the batch
         sees the same graph version even if another thread of control
-        mutates the store mid-batch.  ``kernel`` is as in :meth:`query`.
+        mutates the store mid-batch.  ``kernel`` and ``at_version`` are as
+        in :meth:`query`.
         """
         from repro.ctc.api import search
 
-        snapshot = self.snapshot()
+        snapshot = self.snapshot_at(at_version)
         return [
             search(snapshot, query, method=method, kernel=kernel, **kwargs)
             for query in queries

@@ -71,5 +71,33 @@ class StaleMaintainerError(ReproError):
     """
 
 
+class VersionEvictedError(ReproError):
+    """A time-travel read asked for a version the delta log no longer retains.
+
+    :meth:`~repro.engine.CTCEngine.snapshot_at` can materialize any version
+    the bounded delta log still reaches (see ``retained_versions()``); once
+    a version's deltas are trimmed past ``delta_log_limit``, the graph state
+    at that version is unrecoverable and pinned reads against it must fail
+    loudly instead of silently serving a different version.
+
+    Attributes
+    ----------
+    version:
+        The requested (unrecoverable) version.
+    retained:
+        The inclusive ``(oldest, newest)`` range of versions that *can*
+        still be materialized.
+    """
+
+    def __init__(self, version: int, retained: tuple[int, int]) -> None:
+        super().__init__(
+            f"version {version} has been evicted from the delta log; "
+            f"retained versions are {retained[0]}..{retained[1]} "
+            "(raise delta_log_limit to keep more history)"
+        )
+        self.version = version
+        self.retained = retained
+
+
 class ConfigurationError(ReproError):
     """An experiment or dataset configuration is inconsistent."""

@@ -118,6 +118,27 @@ class GraphDelta:
             | (later.removed_edges - self.added_edges),
         )
 
+    def inverted(self) -> "GraphDelta":
+        """Return the delta that undoes this one (swap additions and removals).
+
+        If this delta is normalized against graph ``G`` and produces ``G'``,
+        the inverse is normalized against ``G'`` and produces ``G`` — its
+        additions were just removed from ``G'`` (so they are absent) and its
+        removals were just added (so they are present).  This is what makes
+        the engine's delta log bidirectional: composing the inverses of the
+        log entries for versions ``v+1..b`` *newest first* replays a
+        version-``b`` snapshot **backwards** to version ``v``.
+
+        ``d.then(d.inverted())`` and ``d.inverted().then(d)`` are both the
+        empty delta.
+        """
+        return GraphDelta(
+            added_nodes=self.removed_nodes,
+            removed_nodes=self.added_nodes,
+            added_edges=self.removed_edges,
+            removed_edges=self.added_edges,
+        )
+
     @staticmethod
     def chain(deltas: Iterable["GraphDelta"]) -> "GraphDelta":
         """Compose a sequence of deltas (oldest first) into one."""

@@ -1,0 +1,147 @@
+"""GraphDelta inversion: the algebra behind backward replay.
+
+``inverted()`` is what turns the engine's forward-only delta log into a
+bidirectional one: a normalized delta taking ``G`` to ``G'`` inverts into a
+delta normalized against ``G'`` that takes it back to ``G``.  These tests
+pin the composition identities (``d.then(d.inverted())`` is empty in both
+orders) and the round-trip at the CSR layer — applying a delta and then its
+inverse reproduces the original snapshot bit-for-bit, including through
+deltas whose add/remove pairs cancel under composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.simple_graph import UndirectedGraph
+
+common_settings = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def graphs_with_deltas(draw):
+    """A graph plus a delta normalized against it."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=4, max_value=14))
+    graph = erdos_renyi_graph(n, draw(st.floats(min_value=0.2, max_value=0.6)), seed=seed)
+    nodes = sorted(graph.nodes())
+    present = sorted(graph.edges())
+    absent = [
+        (u, v)
+        for i, u in enumerate(nodes)
+        for v in nodes[i + 1:]
+        if not graph.has_edge(u, v)
+    ]
+    removed_edges = draw(
+        st.lists(st.sampled_from(present), unique=True, max_size=4) if present else st.just([])
+    )
+    added_edges = draw(
+        st.lists(st.sampled_from(absent), unique=True, max_size=4) if absent else st.just([])
+    )
+    added_nodes = draw(st.lists(st.integers(min_value=n, max_value=n + 5), unique=True, max_size=2))
+    # New edges may also land on brand-new nodes, as engine deltas do.
+    if added_nodes and draw(st.booleans()):
+        added_edges = [*added_edges, (nodes[0], added_nodes[0])]
+    delta = GraphDelta(
+        added_nodes=added_nodes,
+        added_edges=added_edges,
+        removed_edges=removed_edges,
+    )
+    return graph, delta
+
+
+def _assert_csr_identical(left: CSRGraph, right: CSRGraph) -> None:
+    assert left.labels() == right.labels()
+    for attribute in ("indptr", "indices", "slot_edge", "edge_u", "edge_v"):
+        assert np.array_equal(getattr(left, attribute), getattr(right, attribute)), (
+            f"csr.{attribute} did not survive the round trip"
+        )
+
+
+class TestInversionAlgebra:
+    @common_settings
+    @given(setup=graphs_with_deltas())
+    def test_then_inverted_is_empty_both_orders(self, setup):
+        _graph, delta = setup
+        assert delta.then(delta.inverted()).is_empty()
+        assert delta.inverted().then(delta).is_empty()
+
+    @common_settings
+    @given(setup=graphs_with_deltas())
+    def test_double_inversion_is_identity(self, setup):
+        _graph, delta = setup
+        assert delta.inverted().inverted() == delta
+
+    def test_inversion_swaps_all_four_sets(self):
+        delta = GraphDelta(
+            added_nodes=["a"],
+            removed_nodes=["b"],
+            added_edges=[(1, 2)],
+            removed_edges=[(3, 4)],
+        )
+        inverse = delta.inverted()
+        assert inverse.added_nodes == frozenset({"b"})
+        assert inverse.removed_nodes == frozenset({"a"})
+        assert inverse.added_edges == frozenset({(3, 4)})
+        assert inverse.removed_edges == frozenset({(1, 2)})
+
+    def test_empty_delta_inverts_to_empty(self):
+        assert GraphDelta().inverted().is_empty()
+
+    def test_chain_of_inverses_reverses_a_chain(self):
+        """chain(d1, d2) then chain(inv(d2), inv(d1)) nets to nothing —
+        the exact composition the engine's backward replay performs."""
+        d1 = GraphDelta(added_edges=[(1, 2)], removed_edges=[(3, 4)])
+        d2 = GraphDelta(added_edges=[(5, 6)], removed_nodes=["x"])
+        forward = GraphDelta.chain([d1, d2])
+        backward = GraphDelta.chain(delta.inverted() for delta in [d2, d1])
+        assert forward.then(backward).is_empty()
+
+
+class TestCSRRoundTrip:
+    @common_settings
+    @given(setup=graphs_with_deltas())
+    def test_apply_then_apply_inverse_reproduces_csr_bit_for_bit(self, setup):
+        graph, delta = setup
+        original = CSRGraph.from_graph(graph)
+        patched = original.apply_delta(delta).csr
+        restored = patched.apply_delta(delta.inverted()).csr
+        _assert_csr_identical(restored, original)
+
+    def test_backward_replay_through_cancelling_pair(self):
+        """A remove followed by a re-add nets to an empty composition, and
+        backward replay through the pair reproduces the original CSR."""
+        graph = UndirectedGraph()
+        for edge in [(0, 1), (1, 2), (2, 0), (2, 3)]:
+            graph.add_edge(*edge)
+        original = CSRGraph.from_graph(graph)
+        remove = GraphDelta(removed_edges=[(2, 0)])
+        readd = GraphDelta(added_edges=[(0, 2)])
+        assert remove.then(readd).is_empty()
+        after = original.apply_delta(remove).csr.apply_delta(readd).csr
+        _assert_csr_identical(after, original)
+        # Backward composition: inverses newest-first collapse to empty too,
+        # so the one-shot backward patch is also exact.
+        backward = GraphDelta.chain(delta.inverted() for delta in [readd, remove])
+        assert backward.is_empty()
+        _assert_csr_identical(after.apply_delta(backward).csr, original)
+
+    def test_backward_replay_through_node_churn(self):
+        """Inverting a delta that dropped a node (with its incident edges)
+        restores the node, its edges, and the exact label order."""
+        graph = UndirectedGraph()
+        for edge in [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]:
+            graph.add_edge(*edge)
+        original = CSRGraph.from_graph(graph)
+        drop = GraphDelta(removed_nodes=["c"], removed_edges=[("b", "c"), ("c", "a"), ("c", "d")])
+        after = original.apply_delta(drop).csr
+        restored = after.apply_delta(drop.inverted()).csr
+        assert sorted(restored.labels()) == sorted(original.labels())
+        assert set(restored.edge_keys()) == set(original.edge_keys())
+        assert restored.to_graph() == original.to_graph()

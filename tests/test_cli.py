@@ -120,6 +120,63 @@ class TestSearchCommand:
             dict_out.split("members:")[1].split("kernel:")[0]
         )
 
+    def test_at_version_requires_engine(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["search", figure1_file, "--query", "q1", "--at-version", "0"])
+
+    def test_at_version_rejects_negative(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["search", figure1_file, "--query", "q1", "--engine", "--at-version", "-1"])
+
+    def test_window_requires_engine(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["search", figure1_file, "--query", "q1", "--window", "10"])
+
+    def test_window_rejects_negative(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["search", figure1_file, "--query", "q1", "--engine", "--window", "-5"])
+
+    def test_temporal_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["search", "g.txt", "--query", "a", "--engine"])
+        assert args.at_version is None
+        assert args.window == 0
+
+    def test_at_version_pins_reads_across_mutations(self, figure1_file, capsys):
+        """Version-0 pinned queries keep answering while mutations advance
+        the store, and the stats report the pinned reads."""
+        exit_code = main(
+            [
+                "search", figure1_file, "--query", "q1", "q2",
+                "--method", "lctc", "--eta", "50",
+                "--engine", "--repeat", "6", "--mutate-every", "2",
+                "--at-version", "0",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "time travel:" in captured
+        assert "retained versions 0.." in captured
+
+    def test_at_version_beyond_current_exits_cleanly(self, figure1_file):
+        with pytest.raises(SystemExit, match="--at-version"):
+            main(
+                ["search", figure1_file, "--query", "q1",
+                 "--engine", "--at-version", "999"]
+            )
+
+    def test_window_mode_reports_live_edges(self, figure1_file, capsys):
+        exit_code = main(
+            [
+                "search", figure1_file, "--query", "q1", "q2",
+                "--method", "lctc", "--eta", "50",
+                "--engine", "--window", "300",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "window:" in captured
+        assert "/300 live edges" in captured
+
     def test_mixed_workload_mode_reports_delta_applies(self, figure1_file, capsys):
         exit_code = main(
             [
