@@ -1,0 +1,53 @@
+"""Shared writer for the gate benchmarks' JSON trajectory artifacts.
+
+Each gate benchmark (``bench_full_rebuild``, ``bench_peeling``,
+``bench_windowed_churn``, ``bench_mixed_workload``) persists its
+measurements to a checked-in JSON file at the repo root so future PRs can
+diff throughput trajectories.  This module is the single place that knows
+the artifact layout: a schema-versioned envelope around a benchmark-owned
+payload, written to a path that an environment variable can redirect (CI
+points them at the uploaded ``bench-*.json`` artifacts).
+
+Schema
+------
+``schema_version`` (this module's :data:`SCHEMA_VERSION`) and ``benchmark``
+(the producing module's name) are the envelope; everything else —
+``dataset``, ``gate``, ``rows``, workload knobs — is payload, owned by the
+producing benchmark.  Bumping :data:`SCHEMA_VERSION` signals trajectory
+consumers that the envelope itself changed shape, not merely the numbers.
+
+This is the first concrete step toward the unified sweep harness of
+ROADMAP item 5: one writer today, one reader/plotter next.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["SCHEMA_VERSION", "write_artifact"]
+
+#: Version of the artifact envelope (not of any benchmark's payload).
+SCHEMA_VERSION = 1
+
+
+def write_artifact(
+    benchmark: str, payload: dict, *, env_var: str, default_path: str
+) -> str:
+    """Write one benchmark's trajectory artifact; return the path written.
+
+    ``payload`` is the benchmark-owned body (``dataset``/``gate``/``rows``
+    and any workload knobs); the envelope keys ``schema_version`` and
+    ``benchmark`` are prepended here and must not appear in ``payload``.
+    The target path is ``os.environ[env_var]`` when set, else
+    ``default_path`` (the checked-in repo-root snapshot).
+    """
+    overlap = {"schema_version", "benchmark"} & payload.keys()
+    if overlap:
+        raise ValueError(f"payload must not set envelope keys: {sorted(overlap)}")
+    document = {"schema_version": SCHEMA_VERSION, "benchmark": benchmark, **payload}
+    path = os.environ.get(env_var, default_path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -1,0 +1,35 @@
+"""Scaled edge populations shared by the gate benchmarks.
+
+The registry's ``dblp-like`` instance (1.5k nodes) is sized for the
+whole-experiment suite; the gates that measure *rebuild* cost need graphs
+where rebuilding actually hurts, so they run the same community recipe at a
+scale factor — identical profile mix and per-community densities, with the
+background density scaled down to keep the average degree flat (the recipe
+is documented in :mod:`repro.datasets.registry`).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import load_dataset
+from repro.datasets.synthetic import CommunityProfile, generate_community_network
+from repro.graph.simple_graph import UndirectedGraph
+
+__all__ = ["scaled_dblp_like"]
+
+
+def scaled_dblp_like(scale: int) -> UndirectedGraph:
+    """The registry's dblp-like recipe at ``scale`` x size (1 = the registry)."""
+    if scale == 1:
+        return load_dataset("dblp-like").graph
+    return generate_community_network(
+        name=f"dblp-like-x{scale}",
+        num_nodes=1500 * scale,
+        profiles=[
+            CommunityProfile(count=3 * scale, size_range=(20, 26), p_in=0.97),
+            CommunityProfile(count=30 * scale, size_range=(12, 25), p_in=0.65),
+            CommunityProfile(count=60 * scale, size_range=(5, 10), p_in=0.85),
+        ],
+        overlap_fraction=0.15,
+        background_density=0.0008 / scale,
+        seed=33,
+    ).graph

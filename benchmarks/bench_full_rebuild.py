@@ -31,16 +31,15 @@ Run with::
 
 from __future__ import annotations
 
-import json
-import os
 import statistics
 import time
 
 import numpy as np
 import pytest
+from _artifact import write_artifact
+from _populations import scaled_dblp_like
 
 from repro.datasets.registry import load_dataset
-from repro.datasets.synthetic import CommunityProfile, generate_community_network
 from repro.graph.csr import CSRGraph
 from repro.trusses.csr_decomposition import csr_decompose
 
@@ -54,33 +53,10 @@ REPS = 5
 TARGET_SPEEDUP = 3.0
 
 
-def _rebuild_scale_dblp() -> CSRGraph:
-    """The registry's dblp-like recipe at :data:`REBUILD_SCALE` x size.
-
-    Same community profile mix and per-community densities as
-    ``load_dataset("dblp-like")`` — only the node budget and community
-    counts scale, and the background density scales down to keep the
-    average degree flat (the registry recipe is documented in
-    :mod:`repro.datasets.registry`).
-    """
-    network = generate_community_network(
-        name=f"dblp-like-x{REBUILD_SCALE}",
-        num_nodes=1500 * REBUILD_SCALE,
-        profiles=[
-            CommunityProfile(count=3 * REBUILD_SCALE, size_range=(20, 26), p_in=0.97),
-            CommunityProfile(count=30 * REBUILD_SCALE, size_range=(12, 25), p_in=0.65),
-            CommunityProfile(count=60 * REBUILD_SCALE, size_range=(5, 10), p_in=0.85),
-        ],
-        overlap_fraction=0.15,
-        background_density=0.0008 / REBUILD_SCALE,
-        seed=33,
-    )
-    return CSRGraph.from_graph(network.graph)
-
-
 @pytest.fixture(scope="module")
 def gate_csr() -> CSRGraph:
-    return _rebuild_scale_dblp()
+    """The registry's dblp-like recipe at :data:`REBUILD_SCALE` x size."""
+    return CSRGraph.from_graph(scaled_dblp_like(REBUILD_SCALE))
 
 
 @pytest.fixture(scope="module")
@@ -135,16 +111,16 @@ def test_rebuild_json_artifact(gate_csr, registry_csr):
                 "speedup": round(bucket / vector, 2),
             }
         )
-    payload = {
-        "benchmark": "bench_full_rebuild",
-        "dataset": "dblp-like (registry recipe; gate at rebuild scale)",
-        "gate": {"scale": REBUILD_SCALE, "target_speedup": TARGET_SPEEDUP},
-        "rows": rows,
-    }
-    path = os.environ.get("BENCH_REBUILD_JSON", "BENCH_rebuild.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    path = write_artifact(
+        "bench_full_rebuild",
+        {
+            "dataset": "dblp-like (registry recipe; gate at rebuild scale)",
+            "gate": {"scale": REBUILD_SCALE, "target_speedup": TARGET_SPEEDUP},
+            "rows": rows,
+        },
+        env_var="BENCH_REBUILD_JSON",
+        default_path="BENCH_rebuild.json",
+    )
     print(f"\nrebuild trajectory -> {path}")
     for row in rows:
         print(

@@ -28,11 +28,10 @@ Run with::
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
 import pytest
+from _artifact import write_artifact
 
 from repro.ctc.kernels.search import basic_search, bulk_delete_search
 from repro.datasets.queries import QueryWorkloadGenerator
@@ -142,16 +141,16 @@ def test_peeling_json_artifact(kernel, queries):
                 "speedup": round(array_qps / dict_qps, 2),
             }
         )
-    payload = {
-        "benchmark": "bench_peeling",
-        "dataset": "dblp-like (registry recipe)",
-        "gate": {"target_speedup": TARGET_SPEEDUP},
-        "rows": rows,
-    }
-    path = os.environ.get("BENCH_PEELING_JSON", "BENCH_peeling.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    path = write_artifact(
+        "bench_peeling",
+        {
+            "dataset": "dblp-like (registry recipe)",
+            "gate": {"target_speedup": TARGET_SPEEDUP},
+            "rows": rows,
+        },
+        env_var="BENCH_PEELING_JSON",
+        default_path="BENCH_peeling.json",
+    )
     print(f"\npeeling trajectory -> {path}")
     for row in rows:
         print(

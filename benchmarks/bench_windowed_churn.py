@@ -3,11 +3,11 @@
 This is the acceptance gate for the temporal layer's sliding-window mode.
 The workload is the Enron-style streaming scenario: edges of a dblp-like
 population arrive in a deterministic shuffled order into a
-:class:`~repro.engine.SlidingWindowEngine` whose window covers half the
+:class:`~repro.engine.SlidingWindowEngine` whose window covers 3/4 of the
 population, so every arrival past the fill phase expires the stalest edge;
-each arrival batch is followed by an LCTC query sampled from the live
-window.  Two otherwise identical windowed engines differ only in how the
-read replica absorbs the expiry churn:
+each arrival is followed by an LCTC query.  Two otherwise identical
+windowed engines differ only in how the read replica absorbs the expiry
+churn:
 
 * **incremental engine** — default ``delta_threshold``: every arrival's
   add + expiry deltas are patched into the cached snapshot via
@@ -16,21 +16,38 @@ read replica absorbs the expiry churn:
 * **rebuild engine** — ``delta_threshold=0``: every expiry forces a
   from-scratch freeze + full truss decomposition before the next query.
 
-Queries run on the dict kernel: its :class:`TrussIndex` is the snapshot
-artifact whose upkeep the two policies treat most differently (patched in
-place by ``TrussIndex.patched`` vs rebuilt from scratch per expiry), so the
-dict path measures the maintenance win head-on.  The csr kernel currently
-re-enumerates its triangle incidence lazily per version on *both* policies,
-which dilutes the ratio with identical work — carrying the incidence
-through ``apply_delta`` is an open roadmap item.
+Both kernels are measured and gated.  The dict kernel's
+:class:`TrussIndex` is patched in place by ``TrussIndex.patched`` vs
+rebuilt from scratch per expiry; the csr kernel's triangle incidence is
+carried across every expiry by
+:func:`~repro.graph.csr_triangles.patch_incidence` vs re-enumerated per
+version — ``test_incremental_incidence_counters`` asserts via the engine's
+``incidence_patches`` / ``incidence_enumerations`` counters that the timed
+incremental run performs **zero** full triangle enumerations after warm-up.
 
-``test_window_speedup_at_least_2x`` gates incremental window maintenance at
->= 2x the rebuild-per-expiry queries/sec; ``test_policies_agree_on_results``
-pins down that both policies answer the identically-seeded stream
-identically.  ``test_window_json_artifact`` writes the measurements to a
-JSON trajectory file (``BENCH_WINDOW_JSON`` env var, default
-``BENCH_window.json``); the checked-in snapshot at the repo root lets
-future PRs diff windowed throughput.
+Methodology notes (what keeps the gate honest):
+
+* The population is the dblp-like recipe at ``POPULATION_SCALE`` x size —
+  rebuild cost is precisely what window maintenance hides, so the gate
+  measures where rebuilds hurt (the same reasoning as
+  ``bench_full_rebuild``'s gate graph).  Measured margins at this scale:
+  incremental/rebuild ~3x on the csr kernel, ~4.5x on the dict kernel,
+  against the 2x gate.
+* The query *schedule* is precomputed by a scout pass outside every timed
+  region: ``WindowedChurnStream.sample_query`` sorts the live edge set per
+  call, which would otherwise dominate the timed loop identically on both
+  policies and dilute the ratio toward 1.
+* ``test_window_speedup_at_least_2x`` times the two engines in
+  alternating rounds and gates on the **median** per-round ratio, so a
+  transient CPU-throttling window poisons at most one round's pair instead
+  of one whole policy's measurement.
+
+``test_policies_agree_on_results`` pins down that both policies answer the
+identically-seeded stream identically.  ``test_window_json_artifact``
+writes the per-kernel measurements to a JSON trajectory file
+(``BENCH_WINDOW_JSON`` env var, default ``BENCH_window.json``); the
+checked-in snapshot at the repo root lets future PRs diff windowed
+throughput.
 
 Run with::
 
@@ -39,18 +56,27 @@ Run with::
 
 from __future__ import annotations
 
-import json
-import os
+import statistics
 import time
 
 import pytest
+from _artifact import write_artifact
+from _populations import scaled_dblp_like
 
 from repro.datasets.queries import WindowedChurnStream
-from repro.datasets.registry import load_dataset
 from repro.engine import SlidingWindowEngine
 
-#: Queries issued per timed run (each preceded by BATCH arrivals).
-STEPS = 30
+#: Scale factor of the windowed population (see the module docstring).
+POPULATION_SCALE = 2
+
+#: Alternating (rebuild, incremental) rounds the gate medians over.
+GATE_ROUNDS = 3
+
+#: Queries per engine per round (each preceded by BATCH arrivals).
+ROUND_STEPS = 8
+
+#: Queries issued per full timed run.
+STEPS = GATE_ROUNDS * ROUND_STEPS
 
 #: Arrivals between consecutive queries: each one expires a stale edge once
 #: the window is full, and the per-query delta stays far below the
@@ -63,15 +89,18 @@ TARGET_SPEEDUP = 2.0
 #: Community-search method under test; lctc is the paper's headline method.
 METHOD = "lctc"
 ETA = 50
-KERNEL = "dict"
+
+#: Both execution paths are gated: the dict kernel exercises the
+#: TrussIndex.patched upkeep, the csr kernel the patched triangle incidence.
+KERNELS = ("dict", "csr")
 
 STREAM_SEED = 13
 
 
 @pytest.fixture(scope="module")
 def population():
-    """The edge population the window slides across (dblp-like)."""
-    return sorted(load_dataset("dblp-like").graph.edges(), key=repr)
+    """The edge population the window slides across (scaled dblp-like)."""
+    return sorted(scaled_dblp_like(POPULATION_SCALE).edges(), key=repr)
 
 
 @pytest.fixture(scope="module")
@@ -79,60 +108,83 @@ def window(population):
     return len(population) * 3 // 4
 
 
-def _fresh_engine(population, window, **engine_kwargs):
+@pytest.fixture(scope="module")
+def schedule(population, window):
+    """``(warm_query, queries)`` precomputed by a scout pass (never timed).
+
+    The scout engine replays the exact arrival order every timed engine
+    sees (identically-seeded streams), so the recorded per-step queries are
+    valid against each timed engine's live window at the same position —
+    without paying ``sample_query``'s live-edge sort inside a timed region.
+    The scout never snapshots, so the pass costs graph mutation only.
+    """
+    stream = WindowedChurnStream(population, seed=STREAM_SEED)
+    scout = SlidingWindowEngine(window=window)
+    stream.feed(scout, window)
+    warm_query = stream.sample_query(scout)
+    queries = []
+    for _ in range(STEPS):
+        stream.feed(scout, BATCH)
+        queries.append(stream.sample_query(scout))
+    return warm_query, queries
+
+
+def _fresh_engine(population, window, schedule, kernel, **engine_kwargs):
     """A windowed engine filled to capacity from an identically-seeded stream.
 
     Returns the engine together with its stream, positioned just past the
     fill phase — so the timed region starts with a full window and every
     subsequent arrival expires an edge.  The warm snapshot and one warm
     query are issued outside timing for both policies alike; the warm query
-    also materializes the dict-path index, so the incremental engine keeps
-    it patched from the first timed miss on.
+    also materializes the kernel-side artifacts (the dict-path index, or
+    the csr kernel's triangle incidence), so the incremental engine keeps
+    them patched from the first timed miss on.
     """
     stream = WindowedChurnStream(population, seed=STREAM_SEED)
     engine = SlidingWindowEngine(window=window, **engine_kwargs)
     stream.feed(engine, window)
     engine.snapshot()
-    engine.query(stream.sample_query(engine), method=METHOD, eta=ETA, kernel=KERNEL)
+    engine.query(schedule[0], method=METHOD, eta=ETA, kernel=kernel)
     return engine, stream
 
 
-def _run_windowed_churn(engine, stream) -> tuple[int, list]:
-    """Interleave BATCH arrivals with every query; return (count, results)."""
+def _run_steps(engine, stream, kernel, queries) -> tuple[int, list]:
+    """Interleave BATCH arrivals with every scheduled query."""
     results = []
-    count = 0
-    for _ in range(STEPS):
+    for query in queries:
         stream.feed(engine, BATCH)
-        query = stream.sample_query(engine)
-        result = engine.query(query, method=METHOD, eta=ETA, kernel=KERNEL)
+        result = engine.query(query, method=METHOD, eta=ETA, kernel=kernel)
         assert result.contains_query()
         results.append((result.nodes, result.trussness))
-        count += 1
-    return count, results
+    return len(queries), results
 
 
-def _queries_per_second(engine, stream) -> float:
+def _queries_per_second(engine, stream, kernel, queries) -> float:
     started = time.perf_counter()
-    count, _ = _run_windowed_churn(engine, stream)
+    count, _ = _run_steps(engine, stream, kernel, queries)
     return count / (time.perf_counter() - started)
 
 
-def test_bench_rebuild_per_expiry(benchmark, population, window):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_bench_rebuild_per_expiry(benchmark, population, window, schedule, kernel):
     """Rebuild policy off: every expiry forces a from-scratch snapshot."""
-    engine, stream = _fresh_engine(population, window, delta_threshold=0)
+    engine, stream = _fresh_engine(
+        population, window, schedule, kernel, delta_threshold=0
+    )
     count, _ = benchmark.pedantic(
-        _run_windowed_churn, args=(engine, stream), rounds=1, iterations=1
+        _run_steps, args=(engine, stream, kernel, schedule[1]), rounds=1, iterations=1
     )
     assert count == STEPS
     assert engine.stats.delta_applies == 0
     assert engine.stats.full_rebuilds == engine.stats.misses
 
 
-def test_bench_incremental_window(benchmark, population, window):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_bench_incremental_window(benchmark, population, window, schedule, kernel):
     """Default policy: expiry churn is absorbed by patching the snapshot."""
-    engine, stream = _fresh_engine(population, window)
+    engine, stream = _fresh_engine(population, window, schedule, kernel)
     count, _ = benchmark.pedantic(
-        _run_windowed_churn, args=(engine, stream), rounds=1, iterations=1
+        _run_steps, args=(engine, stream, kernel, schedule[1]), rounds=1, iterations=1
     )
     assert count == STEPS
     # Per-batch deltas sit far below the threshold: every miss after the
@@ -141,69 +193,125 @@ def test_bench_incremental_window(benchmark, population, window):
     assert engine.stats.full_rebuilds == 1  # the warm-up snapshot only
 
 
-def test_policies_agree_on_results(population, window):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_policies_agree_on_results(population, window, schedule, kernel):
     """Both maintenance policies must answer the same stream identically."""
-    incremental, incremental_stream = _fresh_engine(population, window)
-    rebuild, rebuild_stream = _fresh_engine(population, window, delta_threshold=0)
-    _, incremental_results = _run_windowed_churn(incremental, incremental_stream)
-    _, rebuild_results = _run_windowed_churn(rebuild, rebuild_stream)
+    incremental, incremental_stream = _fresh_engine(population, window, schedule, kernel)
+    rebuild, rebuild_stream = _fresh_engine(
+        population, window, schedule, kernel, delta_threshold=0
+    )
+    _, incremental_results = _run_steps(
+        incremental, incremental_stream, kernel, schedule[1]
+    )
+    _, rebuild_results = _run_steps(rebuild, rebuild_stream, kernel, schedule[1])
     assert incremental_results == rebuild_results
     assert incremental.window_edges() == rebuild.window_edges()
     assert incremental.stats.delta_applies > 0
 
 
-def test_window_json_artifact(population, window):
-    """Measure both policies and write the JSON trajectory."""
-    incremental, incremental_stream = _fresh_engine(population, window)
-    rebuild, rebuild_stream = _fresh_engine(population, window, delta_threshold=0)
-    incremental_qps = _queries_per_second(incremental, incremental_stream)
-    rebuild_qps = _queries_per_second(rebuild, rebuild_stream)
-    payload = {
-        "benchmark": "bench_windowed_churn",
-        "dataset": "dblp-like (registry recipe)",
-        "window": window,
-        "steps": STEPS,
-        "arrivals_per_query": BATCH,
-        "gate": {"target_speedup": TARGET_SPEEDUP},
-        "rows": [
+def test_incremental_incidence_counters(population, window, schedule):
+    """The csr-kernel delta path never re-enumerates triangles after warm-up.
+
+    The warm-up (full rebuild + first query) accounts for exactly one full
+    triangle enumeration; every expiry afterwards must patch the incidence
+    forward (``incidence_patches`` tracks ``delta_applies``) with the
+    enumeration counter frozen — the property the ISSUE's acceptance gate
+    demands instead of a timing proxy.
+    """
+    engine, stream = _fresh_engine(population, window, schedule, "csr")
+    assert engine.stats.incidence_enumerations == 1
+    count, _ = _run_steps(engine, stream, "csr", schedule[1])
+    assert count == STEPS
+    assert engine.stats.incidence_enumerations == 1
+    assert engine.stats.incidence_patches == engine.stats.delta_applies
+    assert engine.stats.delta_applies == engine.stats.misses - 1
+
+
+def test_window_json_artifact(population, window, schedule):
+    """Measure both policies per kernel and write the JSON trajectory."""
+    rows = []
+    report = [""]
+    for kernel in KERNELS:
+        incremental, incremental_stream = _fresh_engine(
+            population, window, schedule, kernel
+        )
+        rebuild, rebuild_stream = _fresh_engine(
+            population, window, schedule, kernel, delta_threshold=0
+        )
+        incremental_qps = _queries_per_second(
+            incremental, incremental_stream, kernel, schedule[1]
+        )
+        rebuild_qps = _queries_per_second(rebuild, rebuild_stream, kernel, schedule[1])
+        rows.append(
             {
+                "kernel": kernel,
                 "policy": "rebuild-per-expiry",
                 "queries_per_sec": round(rebuild_qps, 2),
-            },
+            }
+        )
+        rows.append(
             {
+                "kernel": kernel,
                 "policy": "incremental-window",
                 "queries_per_sec": round(incremental_qps, 2),
                 "speedup": round(incremental_qps / rebuild_qps, 2),
-            },
-        ],
-    }
-    path = os.environ.get("BENCH_WINDOW_JSON", "BENCH_window.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(
-        f"\nwindow trajectory -> {path}"
-        f"\nrebuild per expiry: {rebuild_qps:8.2f} queries/sec"
-        f"\nincremental window: {incremental_qps:8.2f} queries/sec "
-        f"({incremental_qps / rebuild_qps:.2f}x)"
+                "incidence_patches": incremental.stats.incidence_patches,
+                "incidence_enumerations": incremental.stats.incidence_enumerations,
+            }
+        )
+        report.append(
+            f"{kernel} kernel: rebuild {rebuild_qps:8.2f} q/s, "
+            f"incremental {incremental_qps:8.2f} q/s "
+            f"({incremental_qps / rebuild_qps:.2f}x)"
+        )
+    path = write_artifact(
+        "bench_windowed_churn",
+        {
+            "dataset": f"dblp-like (registry recipe at {POPULATION_SCALE}x scale)",
+            "window": window,
+            "steps": STEPS,
+            "arrivals_per_query": BATCH,
+            "gate": {"target_speedup": TARGET_SPEEDUP},
+            "rows": rows,
+        },
+        env_var="BENCH_WINDOW_JSON",
+        default_path="BENCH_window.json",
     )
-    assert rebuild_qps > 0 and incremental_qps > 0
+    print(f"\nwindow trajectory -> {path}" + "\n".join(report))
+    assert all(row["queries_per_sec"] > 0 for row in rows)
 
 
-def test_window_speedup_at_least_2x(population, window):
-    """Acceptance gate: incremental window q/s >= 2x rebuild-per-expiry q/s."""
-    rebuild, rebuild_stream = _fresh_engine(population, window, delta_threshold=0)
-    incremental, incremental_stream = _fresh_engine(population, window)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_window_speedup_at_least_2x(population, window, schedule, kernel):
+    """Acceptance gate: incremental window q/s >= 2x rebuild-per-expiry q/s.
 
-    rebuild_qps = _queries_per_second(rebuild, rebuild_stream)
-    incremental_qps = _queries_per_second(incremental, incremental_stream)
-
-    print(
-        f"\nrebuild per expiry: {rebuild_qps:8.2f} queries/sec"
-        f"\nincremental window: {incremental_qps:8.2f} queries/sec"
-        f"\nspeedup:            {incremental_qps / rebuild_qps:8.2f}x"
+    Timed in alternating per-round pairs, gated on the median ratio (see
+    the module docstring's methodology notes).
+    """
+    rebuild, rebuild_stream = _fresh_engine(
+        population, window, schedule, kernel, delta_threshold=0
     )
-    assert incremental_qps >= TARGET_SPEEDUP * rebuild_qps, (
-        f"incremental window maintenance ({incremental_qps:.2f} q/s) is not >= "
-        f"{TARGET_SPEEDUP}x rebuild-per-expiry ({rebuild_qps:.2f} q/s)"
+    incremental, incremental_stream = _fresh_engine(population, window, schedule, kernel)
+
+    ratios = []
+    report = [""]
+    for round_index in range(GATE_ROUNDS):
+        chunk = schedule[1][
+            round_index * ROUND_STEPS : (round_index + 1) * ROUND_STEPS
+        ]
+        rebuild_qps = _queries_per_second(rebuild, rebuild_stream, kernel, chunk)
+        incremental_qps = _queries_per_second(
+            incremental, incremental_stream, kernel, chunk
+        )
+        ratios.append(incremental_qps / rebuild_qps)
+        report.append(
+            f"[{kernel}] round {round_index}: rebuild {rebuild_qps:8.2f} q/s, "
+            f"incremental {incremental_qps:8.2f} q/s ({ratios[-1]:.2f}x)"
+        )
+    speedup = statistics.median(ratios)
+    report.append(f"[{kernel}] median speedup: {speedup:.2f}x")
+    print("\n".join(report))
+    assert speedup >= TARGET_SPEEDUP, (
+        f"[{kernel}] incremental window maintenance is not >= {TARGET_SPEEDUP}x "
+        f"rebuild-per-expiry: median {speedup:.2f}x over {GATE_ROUNDS} rounds"
     )

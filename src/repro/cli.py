@@ -277,6 +277,10 @@ def _run_search(args: argparse.Namespace) -> int:
             f"engine cache:  {stats.hits} hits, {stats.misses} misses "
             f"({stats.delta_applies} delta applies, {stats.full_rebuilds} full rebuilds)"
         )
+        print(
+            f"incidence:     {stats.incidence_patches} patches, "
+            f"{stats.incidence_enumerations} full enumerations"
+        )
         if args.at_version is not None or stats.time_travel_reads:
             retained = target.retained_versions()
             print(

@@ -81,6 +81,14 @@ class QueryKernel:
         one).  The LCTC kernel re-decomposes its local expansions on
         restrictions of it instead of re-enumerating triangles; ``None``
         falls back to per-subgraph decomposition with identical results.
+    on_enumerate:
+        Optional callback receiving the freshly built
+        :class:`TriangleIncidence` whenever :meth:`ensure_incidence` had to
+        enumerate from scratch.  The engine passes
+        :meth:`~repro.engine.EngineSnapshot._adopt_incidence` here so
+        lazy kernel-side enumerations land back on the snapshot (making the
+        artifact patchable forward) and are counted in
+        :attr:`~repro.engine.EngineStats.incidence_enumerations`.
 
     A ``QueryKernel`` is immutable-by-contract like the snapshot it wraps;
     :class:`~repro.engine.EngineSnapshot` memoizes one per snapshot so the
@@ -104,6 +112,7 @@ class QueryKernel:
         "_edge_order_desc",
         "_edge_u_list",
         "_edge_v_list",
+        "_on_enumerate",
     )
 
     def __init__(
@@ -111,10 +120,13 @@ class QueryKernel:
         csr: CSRGraph,
         trussness: np.ndarray,
         incidence: TriangleIncidence | None = None,
+        *,
+        on_enumerate=None,
     ) -> None:
         self.csr = csr
         self.trussness = np.asarray(trussness, dtype=np.int64)
         self.incidence = incidence
+        self._on_enumerate = on_enumerate
         if self.trussness.shape != (csr.number_of_edges(),):
             raise ValueError(
                 f"trussness must have one entry per edge "
@@ -312,6 +324,8 @@ class QueryKernel:
             from repro.graph.csr_triangles import csr_triangle_incidence
 
             self.incidence = csr_triangle_incidence(self.csr)
+            if self._on_enumerate is not None:
+                self._on_enumerate(self.incidence)
         return self.incidence
 
     @property

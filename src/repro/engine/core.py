@@ -93,7 +93,7 @@ import numpy as np
 from repro.ctc.result import CommunityResult
 from repro.exceptions import StaleMaintainerError, VersionEvictedError
 from repro.graph.csr import CSRGraph
-from repro.graph.csr_triangles import TriangleIncidence
+from repro.graph.csr_triangles import TriangleIncidence, patch_incidence
 from repro.graph.delta import GraphDelta
 from repro.graph.simple_graph import UndirectedGraph
 from repro.trusses.csr_decomposition import csr_decompose, csr_edge_supports
@@ -146,18 +146,27 @@ class EngineSnapshot:
       dict-path consumer first asks for it.  A snapshot serving only
       CSR-native queries never pays for it;
     * :attr:`supports` — the per-edge-id triangle counts; a full rebuild
-      hands them over from the decomposition (which computes them anyway),
-      so consumers no longer re-count supports a second time.  Snapshots
-      produced by the delta path compute them on first access.
+      hands them over from the decomposition (which computes them anyway)
+      and a delta apply from the patched incidence, so consumers no longer
+      re-count supports a second time.
 
-    ``incidence`` is the triangle-incidence structure a vector-strategy full
-    rebuild enumerated (``None`` otherwise — it is shared, never recomputed):
-    the CSR-native LCTC kernel re-decomposes its local expansions on
+    ``incidence`` is the triangle-incidence structure of this snapshot: a
+    vector-strategy full rebuild enumerates it, a delta apply *patches* the
+    base snapshot's forward via
+    :func:`~repro.graph.csr_triangles.patch_incidence`, and a kernel that
+    had to enumerate one lazily (bucket-path snapshots) adopts it back onto
+    the snapshot — so once any snapshot in a delta chain holds an
+    incidence, every patched descendant inherits it without re-enumerating.
+    The CSR-native LCTC kernel re-decomposes its local expansions on
     restrictions of it, and the next delta apply seeds its deletion pass
-    from it.
+    from it and reads it for triangle lookups.
 
     Once built, every lazy structure is cached and — like the snapshot
-    itself — immutable by contract.
+    itself — immutable by contract.  ``on_enumerate`` is the engine's
+    observability hook: called (with no arguments) whenever a full triangle
+    enumeration ran on behalf of this snapshot, so
+    :attr:`EngineStats.incidence_enumerations` stays exact even for lazy
+    kernel-side enumerations.
     """
 
     __slots__ = (
@@ -169,6 +178,7 @@ class EngineSnapshot:
         "_supports",
         "_index",
         "_kernel",
+        "_on_enumerate",
     )
 
     def __init__(
@@ -181,6 +191,7 @@ class EngineSnapshot:
         *,
         supports: np.ndarray | None = None,
         incidence: TriangleIncidence | None = None,
+        on_enumerate=None,
     ) -> None:
         self.version = version
         self.graph = graph
@@ -190,6 +201,22 @@ class EngineSnapshot:
         self._supports = supports
         self._index = index
         self._kernel: "QueryKernel | None" = None
+        self._on_enumerate = on_enumerate
+
+    def _adopt_incidence(self, incidence: TriangleIncidence) -> None:
+        """Adopt a kernel's lazily enumerated incidence and report the cost.
+
+        Called by the snapshot's :class:`~repro.ctc.kernels.QueryKernel`
+        when :meth:`~repro.ctc.kernels.QueryKernel.ensure_incidence` had to
+        enumerate from scratch; keeping the artifact on the snapshot lets
+        the next delta apply patch it forward instead of enumerating again.
+        """
+        if self.incidence is None:
+            self.incidence = incidence
+            if self._supports is None:
+                self._supports = incidence.supports
+        if self._on_enumerate is not None:
+            self._on_enumerate()
 
     @property
     def supports(self) -> np.ndarray:
@@ -222,7 +249,12 @@ class EngineSnapshot:
         if self._kernel is None:
             from repro.ctc.kernels import QueryKernel
 
-            self._kernel = QueryKernel(self.csr, self.trussness, incidence=self.incidence)
+            self._kernel = QueryKernel(
+                self.csr,
+                self.trussness,
+                incidence=self.incidence,
+                on_enumerate=self._adopt_incidence,
+            )
         return self._kernel
 
     def __repr__(self) -> str:
@@ -239,6 +271,16 @@ class EngineStats:
 
     ``misses == delta_applies + full_rebuilds``: every miss is served by
     exactly one of the two build paths.
+
+    ``incidence_patches`` counts snapshots whose triangle incidence was
+    carried forward by :func:`~repro.graph.csr_triangles.patch_incidence`
+    on the delta path; ``incidence_enumerations`` counts *full* triangle
+    enumerations run on the engine's behalf — by a vector-strategy full
+    rebuild or by a kernel's lazy
+    :meth:`~repro.ctc.kernels.QueryKernel.ensure_incidence`.  A healthy
+    delta-path workload shows ``incidence_enumerations`` frozen after
+    warm-up while ``incidence_patches`` tracks ``delta_applies`` — the
+    property the windowed-churn bench asserts instead of timing it.
     """
 
     hits: int = 0
@@ -248,6 +290,8 @@ class EngineStats:
     delta_applies: int = 0
     full_rebuilds: int = 0
     time_travel_reads: int = 0
+    incidence_patches: int = 0
+    incidence_enumerations: int = 0
     build_seconds: float = field(default=0.0)
 
     def as_dict(self) -> dict[str, float]:
@@ -260,6 +304,8 @@ class EngineStats:
             "delta_applies": self.delta_applies,
             "full_rebuilds": self.full_rebuilds,
             "time_travel_reads": self.time_travel_reads,
+            "incidence_patches": self.incidence_patches,
+            "incidence_enumerations": self.incidence_enumerations,
             "build_seconds": self.build_seconds,
         }
 
@@ -670,6 +716,8 @@ class CTCEngine:
         frozen = self._graph.copy() if version == self._version else self._graph_at(version)
         csr = CSRGraph.from_graph(frozen)
         result = csr_decompose(csr, method=self._decomp)
+        if result.incidence is not None:
+            self.stats.incidence_enumerations += 1
         return EngineSnapshot(
             version=version,
             graph=frozen,
@@ -677,7 +725,12 @@ class CTCEngine:
             trussness=result.trussness,
             supports=result.supports,
             incidence=result.incidence,
+            on_enumerate=self._note_enumeration,
         )
+
+    def _note_enumeration(self) -> None:
+        """Count one full triangle enumeration (see :class:`EngineStats`)."""
+        self.stats.incidence_enumerations += 1
 
     def _build_from_delta(
         self, base: EngineSnapshot, delta: GraphDelta, version: int
@@ -695,6 +748,7 @@ class CTCEngine:
                 index=base._index,
                 supports=base._supports,
                 incidence=base.incidence,
+                on_enumerate=self._note_enumeration,
             )
             clone._kernel = base._kernel
             return clone
@@ -703,8 +757,19 @@ class CTCEngine:
         _apply_delta_to_graph(frozen, delta)
 
         patch = base.csr.apply_delta(delta)
+        incidence: TriangleIncidence | None = None
+        if base.incidence is not None:
+            # Carry the triangle incidence across the patch so the csr
+            # kernel of the new snapshot never re-enumerates (and the
+            # maintenance below reads triangles straight off it).
+            incidence = patch_incidence(base.incidence, patch)
+            self.stats.incidence_patches += 1
         trussness, changed = incremental_truss_update(
-            base.csr, base.trussness, patch, incidence=base.incidence
+            base.csr,
+            base.trussness,
+            patch,
+            incidence=base.incidence,
+            new_incidence=incidence,
         )
         csr = patch.csr
 
@@ -727,7 +792,14 @@ class CTCEngine:
                 touched_nodes=touched_nodes,
             )
         return EngineSnapshot(
-            version=version, graph=frozen, csr=csr, trussness=trussness, index=index
+            version=version,
+            graph=frozen,
+            csr=csr,
+            trussness=trussness,
+            index=index,
+            supports=incidence.supports if incidence is not None else None,
+            incidence=incidence,
+            on_enumerate=self._note_enumeration,
         )
 
     def cached_versions(self) -> list[int]:

@@ -20,9 +20,12 @@ recently inserted ones.  Precisely:
   expired — removed from the store through the normal engine mutation
   path, so each expiry is logged as a :class:`~repro.graph.delta.GraphDelta`
   and the next snapshot is maintained *incrementally* by the batch-deletion
-  pass of :mod:`repro.trusses.incremental` instead of a full rebuild
-  (``delta_threshold=0`` turns that off and rebuilds per expiry — the
-  comparison ``benchmarks/bench_windowed_churn.py`` gates on);
+  pass of :mod:`repro.trusses.incremental` instead of a full rebuild —
+  including its triangle incidence, which the engine path carries forward
+  via :func:`~repro.graph.csr_triangles.patch_incidence`, so the csr
+  kernel never re-enumerates per expiry (``delta_threshold=0`` turns that
+  off and rebuilds per expiry — the comparison
+  ``benchmarks/bench_windowed_churn.py`` gates on, for both kernels);
 * an endpoint that loses its last live edge to expiry is dropped with it,
   so the windowed store always equals the graph induced by the live edge
   set — the invariant the equivalence suite

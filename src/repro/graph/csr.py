@@ -102,12 +102,47 @@ class CSRPatch:
     removed_edge_ids: np.ndarray
     node_remap: np.ndarray | None
 
-    def new_ids_of_old(self, old_edge_count: int) -> np.ndarray:
-        """Return the inverse mapping: old edge id -> new edge id or ``-1``."""
+    @property
+    def old_edge_count(self) -> int:
+        """The edge count of the snapshot the delta was applied to.
+
+        Every old edge either survived (it appears in ``edge_origin``) or
+        was removed (it appears in ``removed_edge_ids``), so the old count
+        is recoverable from the patch alone.
+        """
+        return int((self.edge_origin >= 0).sum()) + int(self.removed_edge_ids.size)
+
+    def new_ids_of_old(self, old_edge_count: int | None = None) -> np.ndarray:
+        """Return the inverse mapping: old edge id -> new edge id or ``-1``.
+
+        ``old_edge_count`` defaults to :attr:`old_edge_count`; passing it
+        explicitly just skips the recount.
+        """
+        if old_edge_count is None:
+            old_edge_count = self.old_edge_count
         inverse = np.full(old_edge_count, -1, dtype=np.int64)
         carried = self.edge_origin >= 0
         inverse[self.edge_origin[carried]] = np.nonzero(carried)[0]
         return inverse
+
+    def inserted_edge_ids(self) -> np.ndarray:
+        """Return the new edge ids the delta inserted, in ascending order."""
+        return np.nonzero(self.edge_origin < 0)[0]
+
+    def preserves_edge_order(self) -> bool:
+        """Return ``True`` if surviving edges kept their relative id order.
+
+        Edge ids are row-major over node ids, so the surviving edges'
+        old-id order and new-id order agree exactly when the node remap is
+        monotonic — always, except when adding a label flips the node sort
+        into its ``repr`` fallback.  Consumers transplanting whole per-edge
+        structures (:func:`repro.graph.csr_triangles.patch_incidence`) use
+        this to skip re-canonicalization on the common path.
+        """
+        if self.node_remap is None:
+            return True
+        kept = self.node_remap[self.node_remap >= 0]
+        return kept.size <= 1 or bool(np.all(np.diff(kept) > 0))
 
 
 class CSRGraph:

@@ -35,12 +35,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, CSRPatch
 
 __all__ = [
     "TriangleIncidence",
     "csr_triangle_incidence",
     "csr_triangle_supports",
+    "patch_incidence",
     "subset_incidence",
     "triangle_nodes",
 ]
@@ -254,6 +255,138 @@ def subset_incidence(
     local = local_of[incidence.edges[candidates]]
     present = (local >= 0).all(axis=1)
     return _incidence_from_triangles(np.ascontiguousarray(local[present]), num_local)
+
+
+def _triangles_of_edges_local(csr: CSRGraph, edge_ids: np.ndarray) -> np.ndarray:
+    """Enumerate every triangle of ``csr`` containing a listed edge, canonically.
+
+    The local counterpart of :func:`_enumerate_triangles`: instead of scanning
+    every forward row slice, each listed edge ``(u, v)`` intersects its
+    endpoints' sorted rows with one ``searchsorted`` (shorter row probed into
+    the longer), so the work is proportional to the touched rows' degrees.
+    Rows are canonicalized to ``(e_uv, e_uw, e_vw)`` — which is simply
+    ascending edge-id order, because edge ids are row-major over ``u < v <
+    w`` — deduplicated (a triangle containing several listed edges is found
+    once per listed edge), and returned sorted by ``(first, second)`` edge
+    id, the exact order the full enumeration produces.
+    """
+    indptr, indices, slot_edge = csr.indptr, csr.indices, csr.slot_edge
+    parts: list[np.ndarray] = []
+    for edge, u, v in zip(
+        edge_ids.tolist(), csr.edge_u[edge_ids].tolist(), csr.edge_v[edge_ids].tolist()
+    ):
+        if indptr[u + 1] - indptr[u] > indptr[v + 1] - indptr[v]:
+            u, v = v, u
+        a0, a1 = int(indptr[u]), int(indptr[u + 1])
+        b0, b1 = int(indptr[v]), int(indptr[v + 1])
+        row_a, row_b = indices[a0:a1], indices[b0:b1]
+        if row_a.size == 0 or row_b.size == 0:
+            continue
+        pos = np.minimum(np.searchsorted(row_b, row_a), row_b.size - 1)
+        hit = row_b[pos] == row_a  # common neighbours of u and v
+        if not hit.any():
+            continue
+        batch = np.empty((int(np.count_nonzero(hit)), 3), dtype=np.int64)
+        batch[:, 0] = edge
+        batch[:, 1] = slot_edge[a0:a1][hit]
+        batch[:, 2] = slot_edge[b0:b1][pos[hit]]
+        parts.append(batch)
+    if not parts:
+        return np.zeros((0, 3), dtype=np.int64)
+    rows = np.concatenate(parts, axis=0)
+    rows.sort(axis=1)
+    _, first = np.unique(rows[:, 0] * csr.number_of_edges() + rows[:, 1], return_index=True)
+    return rows[first]
+
+
+def patch_incidence(
+    incidence: TriangleIncidence,
+    patch: CSRPatch,
+    new_csr: CSRGraph | None = None,
+) -> TriangleIncidence:
+    """Carry ``incidence`` across a :class:`~repro.graph.csr.CSRPatch`.
+
+    ``incidence`` must describe the snapshot ``patch`` was applied to; the
+    result is **bit-identical** to ``csr_triangle_incidence(patch.csr)`` —
+    same triangle array (content *and* order), supports, and incidence CSR —
+    but is assembled locally instead of re-enumerating the graph:
+
+    1. triangles incident to a removed edge are dropped with one gather over
+       the removed edges' incidence rows (the same gather the incremental
+       truss update uses for deletion seeding);
+    2. surviving triangles' corner edge ids are remapped through the patch's
+       old↔new edge correspondence (a pure gather when the patch preserves
+       edge order, a per-row re-canonicalization otherwise);
+    3. the triangles the delta *created* — each contains at least one
+       inserted edge — are enumerated via local ``searchsorted``
+       intersections on the inserted edges' rows only;
+    4. the two sorted runs are merged positionally and the supports /
+       incidence CSR are re-derived from the merged triangle array by the
+       same deterministic assembly a fresh enumeration uses.
+
+    The per-patch cost is proportional to the surviving triangle count plus
+    the touched rows' degrees — never to the size of the graph's candidate
+    pair set, which is what full enumeration scans.
+
+    ``new_csr`` defaults to ``patch.csr``; passing it explicitly merely
+    documents which snapshot the result belongs to.
+    """
+    if new_csr is None:
+        new_csr = patch.csr
+    if (
+        patch.node_remap is None
+        and not patch.removed_edge_ids.size
+        and not (patch.edge_origin < 0).any()
+    ):
+        return incidence  # empty delta: the structure is exactly current
+    num_new_edges = new_csr.number_of_edges()
+
+    # (1) drop every triangle that lost a corner to the deletion batch
+    if patch.removed_edge_ids.size and incidence.num_triangles:
+        lost = incidence.triangles_of_edges(patch.removed_edge_ids)
+        keep = np.ones(incidence.num_triangles, dtype=bool)
+        keep[lost] = False
+        surviving = incidence.edges[keep]
+    else:
+        surviving = incidence.edges
+
+    # (2) remap the survivors' corner edge ids into the new id space
+    surviving = patch.new_ids_of_old(int(incidence.supports.size))[surviving]
+    if surviving.size and not patch.preserves_edge_order():
+        # A non-monotonic node remap reorders edge ids, so both the corner
+        # order within each row and the row order must be re-canonicalized.
+        surviving.sort(axis=1)
+        order = np.argsort(
+            surviving[:, 0] * num_new_edges + surviving[:, 1], kind="stable"
+        )
+        surviving = surviving[order]
+
+    # (3) enumerate only the triangles the inserted edges created
+    inserted = patch.inserted_edge_ids()
+    fresh = (
+        _triangles_of_edges_local(new_csr, inserted)
+        if inserted.size
+        else np.zeros((0, 3), dtype=np.int64)
+    )
+
+    # (4) positional merge of two disjoint sorted runs (survivors contain no
+    # inserted edge as their lowest corner pair; fresh ones always do)
+    if not fresh.size:
+        merged = surviving
+    elif not surviving.size:
+        merged = fresh
+    else:
+        surv_keys = surviving[:, 0] * num_new_edges + surviving[:, 1]
+        fresh_keys = fresh[:, 0] * num_new_edges + fresh[:, 1]
+        slots = np.searchsorted(surv_keys, fresh_keys) + np.arange(
+            fresh_keys.size, dtype=np.int64
+        )
+        merged = np.empty((surviving.shape[0] + fresh.shape[0], 3), dtype=np.int64)
+        gaps = np.ones(merged.shape[0], dtype=bool)
+        gaps[slots] = False
+        merged[slots] = fresh
+        merged[gaps] = surviving
+    return _incidence_from_triangles(np.ascontiguousarray(merged), num_new_edges)
 
 
 def triangle_nodes(csr: CSRGraph, incidence: TriangleIncidence | None = None) -> np.ndarray:

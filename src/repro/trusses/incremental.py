@@ -100,6 +100,7 @@ def incremental_truss_update(
     patch: CSRPatch,
     *,
     incidence: TriangleIncidence | None = None,
+    new_incidence: TriangleIncidence | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(new_trussness, changed_edge_ids)`` for a patched snapshot.
 
@@ -116,6 +117,15 @@ def incremental_truss_update(
     present, the deletion pass seeds its worklist with one vectorized
     gather over the removed edges' incidence rows instead of intersecting
     adjacency maps edge by edge.
+
+    ``new_incidence`` is the optional incidence of **patch.csr** (the
+    engine produces it with
+    :func:`~repro.graph.csr_triangles.patch_incidence` before maintaining
+    trussness): when present, every triangle lookup of the update — the
+    fixpoint operator, the drain's neighbour notification, and the
+    insertion pass's candidate BFS — reads the edge's incidence row
+    (length = its support) instead of intersecting endpoint adjacency maps
+    (length = its smaller endpoint degree).
     """
     new_csr = patch.csr
     num_edges = new_csr.number_of_edges()
@@ -134,20 +144,47 @@ def incremental_truss_update(
     edge_u = new_csr.edge_u
     edge_v = new_csr.edge_v
 
+    if new_incidence is not None:
+        inc_indptr = new_incidence.inc_indptr
+        inc_triangles = new_incidence.inc_triangles
+        triangle_rows = new_incidence.edges
+
+        def active_triangles(edge: int) -> list[tuple[int, int]]:
+            """The other two corners of every active triangle through ``edge``."""
+            row = inc_triangles[inc_indptr[edge]:inc_indptr[edge + 1]]
+            pairs = []
+            for first, second, third in triangle_rows[row].tolist():
+                if first == edge:
+                    one, two = second, third
+                elif second == edge:
+                    one, two = first, third
+                else:
+                    one, two = first, second
+                if active[one] and active[two]:
+                    pairs.append((one, two))
+            return pairs
+    else:
+
+        def active_triangles(edge: int) -> list[tuple[int, int]]:
+            """The other two corners of every active triangle through ``edge``."""
+            first = adjacency(int(edge_u[edge]))
+            second = adjacency(int(edge_v[edge]))
+            if len(first) > len(second):
+                first, second = second, first
+            pairs = []
+            for node, other_first in first.items():
+                other_second = second.get(node)
+                if other_second is None:
+                    continue
+                if active[other_first] and active[other_second]:
+                    pairs.append((other_first, other_second))
+            return pairs
+
     def operator_value(edge: int) -> int:
         """Evaluate the fixpoint operator at ``edge`` over *active* triangles."""
-        first = adjacency(int(edge_u[edge]))
-        second = adjacency(int(edge_v[edge]))
-        if len(first) > len(second):
-            first, second = second, first
         values = []
-        for node, other_first in first.items():
-            other_second = second.get(node)
-            if other_second is None:
-                continue
-            if not (active[other_first] and active[other_second]):
-                continue
-            t1, t2 = trussness[other_first], trussness[other_second]
+        for one, two in active_triangles(edge):
+            t1, t2 = trussness[one], trussness[two]
             values.append(t1 if t1 < t2 else t2)
         values.sort(reverse=True)
         return _h_index_plus_two(values)
@@ -170,15 +207,8 @@ def incremental_truss_update(
             trussness[edge] = value
             # A neighbour's triangle count at its own level only drops if
             # this edge fell from >= that level to below it.
-            first = adjacency(int(edge_u[edge]))
-            second = adjacency(int(edge_v[edge]))
-            for node, other_first in first.items():
-                other_second = second.get(node)
-                if other_second is None:
-                    continue
-                if not (active[other_first] and active[other_second]):
-                    continue
-                for neighbor in (other_first, other_second):
+            for pair in active_triangles(edge):
+                for neighbor in pair:
                     if (
                         value < trussness[neighbor] <= before
                         and neighbor not in queued
@@ -224,19 +254,7 @@ def incremental_truss_update(
     # ------------------------------------------------------------------
     for new_edge in inserted.tolist():
         active[new_edge] = True
-        node_u = int(edge_u[new_edge])
-        node_v = int(edge_v[new_edge])
-        first = adjacency(node_u)
-        second = adjacency(node_v)
-        if len(first) > len(second):
-            first, second = second, first
-        triangles: list[tuple[int, int]] = []
-        for node, other_first in first.items():
-            other_second = second.get(node)
-            if other_second is None:
-                continue
-            if active[other_first] and active[other_second]:
-                triangles.append((other_first, other_second))
+        triangles = active_triangles(new_edge)
 
         minima = sorted(
             (min(trussness[e1], trussness[e2]) for e1, e2 in triangles), reverse=True
@@ -262,20 +280,8 @@ def incremental_truss_update(
         while frontier:
             edge = frontier.popleft()
             level = trussness[edge]
-            first = adjacency(int(edge_u[edge]))
-            second = adjacency(int(edge_v[edge]))
-            if len(first) > len(second):
-                first, second = second, first
-            for node, other_first in first.items():
-                other_second = second.get(node)
-                if other_second is None:
-                    continue
-                if not (active[other_first] and active[other_second]):
-                    continue
-                for neighbor, witness in (
-                    (other_first, other_second),
-                    (other_second, other_first),
-                ):
+            for one, two in active_triangles(edge):
+                for neighbor, witness in ((one, two), (two, one)):
                     if (
                         neighbor not in candidates
                         and trussness[neighbor] == level

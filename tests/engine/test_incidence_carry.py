@@ -1,0 +1,134 @@
+"""Engine-level incidence carrying: the counters prove the artifact's lifecycle.
+
+``EngineStats.incidence_enumerations`` / ``incidence_patches`` make the
+triangle-incidence lifecycle observable: a vector full rebuild enumerates
+once, every delta apply patches the retained structure forward, a
+cancelling delta shares it untouched, time-travel reads patch it through
+replay, and a bucket-path snapshot joins the patchable chain when a csr
+kernel's lazy enumeration is adopted.  Each test pins the counters *and*
+checks the carried arrays are bit-identical to a fresh
+:func:`~repro.graph.csr_triangles.csr_triangle_incidence` of the snapshot's
+CSR, so the counters can't silently drift from the structures they claim
+to describe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import CTCEngine, SlidingWindowEngine
+from repro.graph.csr_triangles import csr_triangle_incidence
+from repro.graph.generators import erdos_renyi_graph
+
+
+def _assert_current_incidence(snapshot) -> None:
+    """The snapshot's incidence == a fresh enumeration of its CSR."""
+    fresh = csr_triangle_incidence(snapshot.csr)
+    assert snapshot.incidence is not None
+    assert np.array_equal(snapshot.incidence.edges, fresh.edges)
+    assert np.array_equal(snapshot.incidence.supports, fresh.supports)
+    assert np.array_equal(snapshot.incidence.inc_indptr, fresh.inc_indptr)
+    assert np.array_equal(snapshot.incidence.inc_triangles, fresh.inc_triangles)
+
+
+class TestFullRebuildCounters:
+    def test_vector_rebuild_counts_one_enumeration(self):
+        engine = CTCEngine(erdos_renyi_graph(30, 0.25, seed=3), decomp="vector")
+        snapshot = engine.snapshot()
+        assert engine.stats.incidence_enumerations == 1
+        assert engine.stats.incidence_patches == 0
+        _assert_current_incidence(snapshot)
+
+    def test_bucket_rebuild_enumerates_nothing(self):
+        engine = CTCEngine(erdos_renyi_graph(30, 0.25, seed=3), decomp="bucket")
+        assert engine.snapshot().incidence is None
+        assert engine.stats.incidence_enumerations == 0
+        assert engine.stats.incidence_patches == 0
+
+    def test_stats_dict_exposes_the_counters(self):
+        stats = CTCEngine(erdos_renyi_graph(10, 0.3, seed=1)).stats.as_dict()
+        assert "incidence_patches" in stats
+        assert "incidence_enumerations" in stats
+
+
+class TestDeltaPathCounters:
+    def test_delta_applies_patch_without_reenumerating(self):
+        graph = erdos_renyi_graph(30, 0.25, seed=3)
+        engine = CTCEngine(graph, decomp="vector")
+        engine.snapshot()  # warm: the single full enumeration
+        mutations = [("remove", edge) for edge in sorted(graph.edges())[:2]]
+        mutations += [("add", (900, 901)), ("add", (901, 902))]
+        for index, (op, (u, v)) in enumerate(mutations, start=1):
+            engine.remove_edge(u, v) if op == "remove" else engine.add_edge(u, v)
+            snapshot = engine.snapshot()
+            assert engine.stats.delta_applies == index
+            assert engine.stats.incidence_patches == index
+            assert engine.stats.incidence_enumerations == 1
+            _assert_current_incidence(snapshot)
+            # The patched supports are handed over, not recounted.
+            assert snapshot.supports is snapshot.incidence.supports
+
+    def test_cancelling_delta_shares_the_base_incidence(self):
+        engine = CTCEngine(erdos_renyi_graph(30, 0.25, seed=3), decomp="vector")
+        base = engine.snapshot()
+        edge = sorted(engine.graph.edges())[0]
+        engine.remove_edge(*edge)
+        engine.add_edge(*edge)
+        assert engine.snapshot().incidence is base.incidence
+        assert engine.stats.incidence_patches == 0
+        assert engine.stats.incidence_enumerations == 1
+
+    def test_time_travel_replay_patches_the_incidence(self):
+        # cache_size=1: the pinned version is evicted, so the historical
+        # read must replay backward from the cached current snapshot.
+        engine = CTCEngine(
+            erdos_renyi_graph(30, 0.25, seed=3), decomp="vector", cache_size=1
+        )
+        engine.snapshot()
+        pinned = engine.version
+        for extra in range(3):
+            engine.add_edge(900 + extra, 901 + extra)
+        engine.snapshot()
+        patches_before = engine.stats.incidence_patches
+        old = engine.snapshot_at(pinned)
+        assert engine.stats.time_travel_reads == 1
+        assert engine.stats.incidence_patches > patches_before
+        assert engine.stats.incidence_enumerations == 1
+        _assert_current_incidence(old)
+
+
+class TestLazyAdoption:
+    def test_kernel_enumeration_is_adopted_and_counted(self):
+        """A bucket-path snapshot joins the patchable chain via adoption."""
+        # Large enough that the working subgraph clears the auto peel
+        # engine's array threshold, so the peel demands the incidence.
+        engine = CTCEngine(erdos_renyi_graph(60, 0.35, seed=3), decomp="bucket")
+        snapshot = engine.snapshot()
+        assert snapshot.incidence is None
+        # A csr-kernel array peel enumerates the incidence lazily ...
+        engine.query([0, 1], method="bulk-delete")
+        assert engine.stats.incidence_enumerations == 1
+        assert snapshot.incidence is not None  # ... and it was adopted back.
+        _assert_current_incidence(snapshot)
+        # The adopted structure is now patched forward like any other.
+        engine.add_edge(900, 901)
+        patched = engine.snapshot()
+        assert engine.stats.incidence_patches == 1
+        assert engine.stats.incidence_enumerations == 1
+        _assert_current_incidence(patched)
+
+
+class TestSlidingWindowCounters:
+    def test_expiry_stream_never_reenumerates(self):
+        population = sorted(erdos_renyi_graph(24, 0.3, seed=5).edges(), key=repr)
+        window = 2 * len(population) // 3
+        engine = SlidingWindowEngine(window=window, decomp="vector")
+        engine.add_edges_from(population[:window])
+        engine.snapshot()  # warm: the single full enumeration
+        for u, v in population[window:]:
+            engine.add_edge(u, v)  # each arrival also expires the oldest edge
+            snapshot = engine.snapshot()
+            _assert_current_incidence(snapshot)
+        assert engine.stats.incidence_enumerations == 1
+        assert engine.stats.incidence_patches == engine.stats.delta_applies
+        assert engine.stats.incidence_patches == len(population) - window
