@@ -17,6 +17,8 @@ Examples
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --mutate-every 5
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --mutate-every 5 --at-version 0
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --window 500
+    ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --workers 4
+    ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --workers 4 --serving-mode process
     ctc-search experiment table2
     ctc-search experiment fig12 --queries 10
 
@@ -37,7 +39,10 @@ query execution path on engine snapshots: ``csr`` (the default with
 are identical either way.  ``--decomp`` picks the full-rebuild
 decomposition strategy (``auto``/``vector``/``bucket`` — the
 level-synchronous vector peel or the sequential bucket queue; trussness is
-bit-identical either way).
+bit-identical either way).  ``--workers N`` serves the ``--repeat`` loop
+through the concurrent :class:`~repro.engine.ServingEngine` front-end in
+batches (one pinned snapshot per batch); ``--serving-mode`` picks the
+thread-pool (default) or the shard-per-process back end.
 """
 
 from __future__ import annotations
@@ -53,6 +58,8 @@ from repro.engine import (
     DEFAULT_CACHE_SIZE,
     DEFAULT_DELTA_THRESHOLD,
     CTCEngine,
+    EngineStats,
+    ServingEngine,
     SlidingWindowEngine,
 )
 from repro.exceptions import VersionEvictedError
@@ -169,6 +176,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     search_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "serve the --repeat loop through the concurrent ServingEngine "
+            "front-end with N workers, batching queries against one pinned "
+            "snapshot per batch (requires --engine; 0 disables)"
+        ),
+    )
+    search_parser.add_argument(
+        "--serving-mode",
+        choices=("thread", "process"),
+        default=None,
+        help=(
+            "ServingEngine back end with --workers: 'thread' (default) shares "
+            "one engine behind a thread pool, 'process' shards the store by "
+            "connected component across worker processes mapping shared-memory "
+            "snapshot buffers"
+        ),
+    )
+    search_parser.add_argument(
         "--window",
         type=int,
         default=0,
@@ -213,6 +242,23 @@ def _run_search(args: argparse.Namespace) -> int:
         raise SystemExit("--window must be >= 1 (0 disables windowing)")
     if args.window and not args.engine:
         raise SystemExit("--window requires --engine (expiry runs through the delta log)")
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 1 (0 disables the serving layer)")
+    if args.workers and not args.engine:
+        raise SystemExit("--workers requires --engine (the serving layer fronts the engine)")
+    if args.serving_mode and not args.workers:
+        raise SystemExit("--serving-mode requires --workers")
+    if args.workers and args.window:
+        raise SystemExit(
+            "--workers does not combine with --window (window expiry bookkeeping "
+            "is not routed through the serving layer)"
+        )
+    serving_mode = args.serving_mode or "thread"
+    if args.workers and serving_mode == "process" and args.at_version is not None:
+        raise SystemExit(
+            "--at-version requires --serving-mode thread (shard workers hold "
+            "independent version histories)"
+        )
     kernel = args.kernel or ("csr" if args.engine else "dict")
     graph = read_edge_list(args.graph)
     if args.engine:
@@ -228,9 +274,19 @@ def _run_search(args: argparse.Namespace) -> int:
             target = CTCEngine(graph, **engine_kwargs)
     else:
         target = graph
+    serving = None
+    if args.workers:
+        serving = ServingEngine(
+            target,
+            workers=args.workers,
+            mode=serving_mode,
+            cache_size=args.cache_size,
+            delta_threshold=args.delta_threshold,
+            decomp=args.decomp or "auto",
+        )
     mutator = None
     if args.mutate_every:
-        mutator = EdgeChurn(target, seed=0, protect=args.query)
+        mutator = EdgeChurn(serving or target, seed=0, protect=args.query)
         if not mutator.mutable_edges:
             raise SystemExit(
                 "--mutate-every has nothing to mutate: every edge is incident to a "
@@ -238,21 +294,45 @@ def _run_search(args: argparse.Namespace) -> int:
             )
     started = time.perf_counter()
     try:
-        for iteration in range(args.repeat):
-            if mutator is not None and iteration and iteration % args.mutate_every == 0:
-                mutator.step()
-            result = search(
-                target,
-                args.query,
-                method=args.method,
-                eta=args.eta,
-                gamma=args.gamma,
-                kernel=kernel,
-                at_version=args.at_version,
-            )
+        if serving is not None:
+            # One pinned snapshot per batch: mutations land between batches,
+            # so every batch boundary is also a consistency boundary.
+            batch_size = args.mutate_every or max(2 * args.workers, 8)
+            remaining = args.repeat
+            while remaining:
+                if mutator is not None and remaining != args.repeat:
+                    mutator.step()
+                size = min(batch_size, remaining)
+                results = serving.query_batch(
+                    [args.query] * size,
+                    args.method,
+                    kernel=kernel,
+                    at_version=args.at_version,
+                    eta=args.eta,
+                    gamma=args.gamma,
+                )
+                result = results[-1]
+                remaining -= size
+        else:
+            for iteration in range(args.repeat):
+                if mutator is not None and iteration and iteration % args.mutate_every == 0:
+                    mutator.step()
+                result = search(
+                    target,
+                    args.query,
+                    method=args.method,
+                    eta=args.eta,
+                    gamma=args.gamma,
+                    kernel=kernel,
+                    at_version=args.at_version,
+                )
     except VersionEvictedError as error:
+        if serving is not None:
+            serving.close()
         raise SystemExit(f"--at-version: {error}") from None
     except ValueError as error:
+        if serving is not None:
+            serving.close()
         if args.at_version is not None:
             raise SystemExit(f"--at-version: {error}") from None
         raise
@@ -270,7 +350,13 @@ def _run_search(args: argparse.Namespace) -> int:
     if args.repeat > 1:
         print(f"throughput:    {args.repeat / elapsed:.1f} queries/sec ({args.repeat} runs)")
     if args.engine:
-        stats = target.stats
+        if serving is not None and serving.mode == "process":
+            stats = EngineStats(**serving.engine_stats())  # summed over shards
+        else:
+            stats = target.stats
+    if serving is not None:
+        serving.close()
+    if args.engine:
         print(f"kernel:        {kernel}")
         print(f"decomp:        {target.decomp}")
         print(
@@ -281,6 +367,21 @@ def _run_search(args: argparse.Namespace) -> int:
             f"incidence:     {stats.incidence_patches} patches, "
             f"{stats.incidence_enumerations} full enumerations"
         )
+        print(
+            f"pins:          {stats.leases} leases, "
+            f"{stats.deferred_reclamations} deferred reclamations"
+        )
+        if serving is not None:
+            sstats = serving.stats
+            print(
+                f"serving:       mode={sstats.mode}, workers={sstats.workers}, "
+                f"{sstats.batches} batches"
+            )
+            print(
+                f"coalescing:    {sstats.coalesced_queries}/{sstats.queries} queries "
+                f"coalesced, {sstats.snapshot_reuses} snapshot reuses, "
+                f"{sstats.cross_shard_rejects} cross-shard rejects"
+            )
         if args.at_version is not None or stats.time_travel_reads:
             retained = target.retained_versions()
             print(

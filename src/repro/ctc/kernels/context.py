@@ -31,6 +31,7 @@ whichever is faster without observable differences.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Hashable, Sequence
 
 import numpy as np
@@ -93,6 +94,14 @@ class QueryKernel:
     A ``QueryKernel`` is immutable-by-contract like the snapshot it wraps;
     :class:`~repro.engine.EngineSnapshot` memoizes one per snapshot so the
     derived structures amortize across every query on that graph version.
+
+    Thread-safety: the serving layer shares one kernel between reader
+    threads.  The memos that are derived through multiple dependent fields
+    or fire observer callbacks (:meth:`ensure_incidence`,
+    :attr:`sorted_arrays` / :meth:`sorted_row_stops`) build under an
+    internal lock; the remaining lazies are single-assignment value caches
+    of deterministic conversions, where the worst concurrent outcome is two
+    threads computing the same value once each.
     """
 
     __slots__ = (
@@ -113,6 +122,7 @@ class QueryKernel:
         "_edge_u_list",
         "_edge_v_list",
         "_on_enumerate",
+        "_lock",
     )
 
     def __init__(
@@ -145,6 +155,7 @@ class QueryKernel:
         self._edge_order_desc: list[int] | None = None
         self._edge_u_list: list[int] | None = None
         self._edge_v_list: list[int] | None = None
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # lazy derived structures
@@ -222,31 +233,33 @@ class QueryKernel:
         needs no per-row bisect.
         """
         if self._sorted_np is None:
-            csr = self.csr
-            num_nodes = csr.number_of_nodes()
-            row_of_slot = np.repeat(
-                np.arange(num_nodes, dtype=np.int64), np.diff(csr.indptr)
-            )
-            neg_tau = -self.trussness[csr.slot_edge]
-            rank = np.asarray(self.repr_rank, dtype=np.int64)[csr.indices]
-            # One composite-key argsort instead of a three-key lexsort (the
-            # keys are small non-negative ints, so the packed value is exact
-            # and ~10x faster to sort); equivalent to
-            # np.lexsort((rank, neg_tau, row_of_slot)).
-            tau_span = self.max_trussness + 1
-            if num_nodes * tau_span < 2**62 // max(num_nodes, 1):
-                composite = (
-                    row_of_slot * tau_span + (neg_tau + self.max_trussness)
-                ) * max(num_nodes, 1) + rank
-                order = np.argsort(composite, kind="stable")
-            else:  # packed key would overflow int64 (graphs beyond ~1e9 slots)
-                order = np.lexsort((rank, neg_tau, row_of_slot))
-            self._sorted_np = (
-                csr.indptr,
-                csr.indices[order],
-                csr.slot_edge[order],
-                neg_tau[order],
-            )
+            with self._lock:
+                if self._sorted_np is None:
+                    csr = self.csr
+                    num_nodes = csr.number_of_nodes()
+                    row_of_slot = np.repeat(
+                        np.arange(num_nodes, dtype=np.int64), np.diff(csr.indptr)
+                    )
+                    neg_tau = -self.trussness[csr.slot_edge]
+                    rank = np.asarray(self.repr_rank, dtype=np.int64)[csr.indices]
+                    # One composite-key argsort instead of a three-key lexsort
+                    # (the keys are small non-negative ints, so the packed
+                    # value is exact and ~10x faster to sort); equivalent to
+                    # np.lexsort((rank, neg_tau, row_of_slot)).
+                    tau_span = self.max_trussness + 1
+                    if num_nodes * tau_span < 2**62 // max(num_nodes, 1):
+                        composite = (
+                            row_of_slot * tau_span + (neg_tau + self.max_trussness)
+                        ) * max(num_nodes, 1) + rank
+                        order = np.argsort(composite, kind="stable")
+                    else:  # packed key would overflow int64 (beyond ~1e9 slots)
+                        order = np.lexsort((rank, neg_tau, row_of_slot))
+                    self._sorted_np = (
+                        csr.indptr,
+                        csr.indices[order],
+                        csr.slot_edge[order],
+                        neg_tau[order],
+                    )
         return self._sorted_np
 
     @property
@@ -292,15 +305,18 @@ class QueryKernel:
             indptr = self.csr.indptr
             return lambda frontier: indptr[frontier]
         if self._sorted_keys is None:
-            csr = self.csr
-            num_nodes = csr.number_of_nodes()
-            row_of_slot = np.repeat(
-                np.arange(num_nodes, dtype=np.int64), np.diff(csr.indptr)
-            )
-            neg_tau = self.sorted_arrays[3]
-            self._sorted_keys = (
-                row_of_slot * (self.max_trussness + 1) + (neg_tau + self.max_trussness)
-            )
+            with self._lock:
+                if self._sorted_keys is None:
+                    csr = self.csr
+                    num_nodes = csr.number_of_nodes()
+                    row_of_slot = np.repeat(
+                        np.arange(num_nodes, dtype=np.int64), np.diff(csr.indptr)
+                    )
+                    neg_tau = self.sorted_arrays[3]
+                    self._sorted_keys = (
+                        row_of_slot * (self.max_trussness + 1)
+                        + (neg_tau + self.max_trussness)
+                    )
         keys = self._sorted_keys
         span = self.max_trussness + 1
         offset = self.max_trussness - threshold
@@ -321,11 +337,13 @@ class QueryKernel:
         snapshot.
         """
         if self.incidence is None:
-            from repro.graph.csr_triangles import csr_triangle_incidence
+            with self._lock:
+                if self.incidence is None:
+                    from repro.graph.csr_triangles import csr_triangle_incidence
 
-            self.incidence = csr_triangle_incidence(self.csr)
-            if self._on_enumerate is not None:
-                self._on_enumerate(self.incidence)
+                    self.incidence = csr_triangle_incidence(self.csr)
+                    if self._on_enumerate is not None:
+                        self._on_enumerate(self.incidence)
         return self.incidence
 
     @property

@@ -4,7 +4,9 @@ Mutations propagate to the cached read replicas through structured
 :class:`~repro.graph.delta.GraphDelta` batches and an incremental rebuild
 policy; see :mod:`repro.engine.core` for the design discussion and
 ``docs/ARCHITECTURE.md`` for the layer diagram and the caching/rebuild
-contract.
+contract.  :mod:`repro.engine.serving` layers a concurrent front-end on
+top: epoch-pinned snapshot leases, batched thread-pool serving, and
+shard-parallel worker processes over shared-memory snapshot buffers.
 """
 
 from repro.engine.core import (
@@ -14,14 +16,19 @@ from repro.engine.core import (
     CTCEngine,
     EngineSnapshot,
     EngineStats,
+    SnapshotLease,
 )
+from repro.engine.serving import ServingEngine, ServingStats
 from repro.engine.window import SlidingWindowEngine
 
 __all__ = [
     "CTCEngine",
     "EngineSnapshot",
     "EngineStats",
+    "ServingEngine",
+    "ServingStats",
     "SlidingWindowEngine",
+    "SnapshotLease",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_DELTA_THRESHOLD",
     "DEFAULT_DELTA_LOG_LIMIT",

@@ -78,10 +78,32 @@ Caching / invalidation contract
   another hook raises mid-batch.
 * A snapshot, once built, is immutable: it holds a private frozen copy of
   the store, so in-flight results never see later mutations.
+
+Concurrency: epoch-pinned snapshots
+-----------------------------------
+The engine is safe to share between one writer and many reader threads.  A
+single re-entrant mutex guards every *bookkeeping* step — version bump +
+delta-log append, LRU lookup/insert/evict, build planning — but never the
+heavy work: snapshot builds (CSR decomposition, delta application) run
+outside the lock, coordinated per version so concurrent misses on one
+version build it exactly once, and query execution touches no engine state
+at all (snapshots are immutable).  Readers therefore never block the
+writer for longer than a dict update, and the writer never blocks readers
+mid-query.
+
+:meth:`CTCEngine.lease` returns a :class:`SnapshotLease` — a context
+manager pinning one version against reclamation.  The LRU defers eviction
+of pinned versions (skipping them during over-capacity sweeps, counted in
+:attr:`EngineStats.deferred_reclamations`) and reclaims them when the last
+lease releases, so a reader holding a lease can keep issuing
+:meth:`snapshot_at` reads of its version even after the delta log has
+trimmed past it — the epoch-reclamation scheme the serving layer
+(:mod:`repro.engine.serving`) builds its batched front-end on.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from collections.abc import Hashable, Iterable, Sequence
@@ -104,7 +126,7 @@ from repro.trusses.maintenance import KTrussMaintainer
 if TYPE_CHECKING:
     from repro.ctc.kernels import QueryKernel
 
-__all__ = ["CTCEngine", "EngineSnapshot", "EngineStats"]
+__all__ = ["CTCEngine", "EngineSnapshot", "EngineStats", "SnapshotLease"]
 
 #: Default number of graph versions whose snapshots stay cached.
 DEFAULT_CACHE_SIZE = 4
@@ -179,6 +201,7 @@ class EngineSnapshot:
         "_index",
         "_kernel",
         "_on_enumerate",
+        "_lazy_lock",
     )
 
     def __init__(
@@ -202,6 +225,9 @@ class EngineSnapshot:
         self._index = index
         self._kernel: "QueryKernel | None" = None
         self._on_enumerate = on_enumerate
+        #: Serializes the lazy builds below so concurrent readers of one
+        #: snapshot memoize each derived structure exactly once.
+        self._lazy_lock = threading.RLock()
 
     def _adopt_incidence(self, incidence: TriangleIncidence) -> None:
         """Adopt a kernel's lazily enumerated incidence and report the cost.
@@ -211,10 +237,11 @@ class EngineSnapshot:
         enumerate from scratch; keeping the artifact on the snapshot lets
         the next delta apply patch it forward instead of enumerating again.
         """
-        if self.incidence is None:
-            self.incidence = incidence
-            if self._supports is None:
-                self._supports = incidence.supports
+        with self._lazy_lock:
+            if self.incidence is None:
+                self.incidence = incidence
+                if self._supports is None:
+                    self._supports = incidence.supports
         if self._on_enumerate is not None:
             self._on_enumerate()
 
@@ -222,21 +249,25 @@ class EngineSnapshot:
     def supports(self) -> np.ndarray:
         """Per-edge-id triangle counts, shared from the build when available."""
         if self._supports is None:
-            if self.incidence is not None:
-                self._supports = self.incidence.supports
-            else:
-                self._supports = csr_edge_supports(self.csr)
+            with self._lazy_lock:
+                if self._supports is None:
+                    if self.incidence is not None:
+                        self._supports = self.incidence.supports
+                    else:
+                        self._supports = csr_edge_supports(self.csr)
         return self._supports
 
     @property
     def index(self) -> TrussIndex:
         """The dict-path :class:`TrussIndex`, built lazily on first access."""
         if self._index is None:
-            edge_trussness = {
-                self.csr.edge_key_of(edge): int(self.trussness[edge])
-                for edge in range(self.csr.number_of_edges())
-            }
-            self._index = TrussIndex(self.graph, edge_trussness=edge_trussness)
+            with self._lazy_lock:
+                if self._index is None:
+                    edge_trussness = {
+                        self.csr.edge_key_of(edge): int(self.trussness[edge])
+                        for edge in range(self.csr.number_of_edges())
+                    }
+                    self._index = TrussIndex(self.graph, edge_trussness=edge_trussness)
         return self._index
 
     def has_index(self) -> bool:
@@ -247,14 +278,16 @@ class EngineSnapshot:
     def kernel(self) -> "QueryKernel":
         """The CSR-native :class:`QueryKernel`, built lazily on first access."""
         if self._kernel is None:
-            from repro.ctc.kernels import QueryKernel
+            with self._lazy_lock:
+                if self._kernel is None:
+                    from repro.ctc.kernels import QueryKernel
 
-            self._kernel = QueryKernel(
-                self.csr,
-                self.trussness,
-                incidence=self.incidence,
-                on_enumerate=self._adopt_incidence,
-            )
+                    self._kernel = QueryKernel(
+                        self.csr,
+                        self.trussness,
+                        incidence=self.incidence,
+                        on_enumerate=self._adopt_incidence,
+                    )
         return self._kernel
 
     def __repr__(self) -> str:
@@ -281,6 +314,11 @@ class EngineStats:
     delta-path workload shows ``incidence_enumerations`` frozen after
     warm-up while ``incidence_patches`` tracks ``delta_applies`` — the
     property the windowed-churn bench asserts instead of timing it.
+
+    ``leases`` counts snapshot pins handed out via :meth:`CTCEngine.lease`;
+    ``deferred_reclamations`` counts the times an over-capacity LRU sweep
+    had to skip a pinned version (its eviction runs when the last lease
+    releases instead).
     """
 
     hits: int = 0
@@ -292,6 +330,8 @@ class EngineStats:
     time_travel_reads: int = 0
     incidence_patches: int = 0
     incidence_enumerations: int = 0
+    leases: int = 0
+    deferred_reclamations: int = 0
     build_seconds: float = field(default=0.0)
 
     def as_dict(self) -> dict[str, float]:
@@ -306,8 +346,64 @@ class EngineStats:
             "time_travel_reads": self.time_travel_reads,
             "incidence_patches": self.incidence_patches,
             "incidence_enumerations": self.incidence_enumerations,
+            "leases": self.leases,
+            "deferred_reclamations": self.deferred_reclamations,
             "build_seconds": self.build_seconds,
         }
+
+
+class SnapshotLease:
+    """A pin on one snapshot version, released via ``with`` or :meth:`release`.
+
+    While any lease on a version is outstanding the engine's LRU will not
+    reclaim that version's snapshot, and :meth:`CTCEngine.snapshot_at` keeps
+    serving it even after the delta log has trimmed past it.  Leases are
+    obtained from :meth:`CTCEngine.lease`; :meth:`release` is idempotent and
+    runs the deferred reclamation sweep when the last pin on the version
+    drops.
+    """
+
+    __slots__ = ("_engine", "snapshot", "_released")
+
+    def __init__(self, engine: "CTCEngine", snapshot: EngineSnapshot) -> None:
+        self._engine = engine
+        self.snapshot = snapshot
+        self._released = False
+
+    @property
+    def version(self) -> int:
+        """The pinned store version."""
+        return self.snapshot.version
+
+    @property
+    def released(self) -> bool:
+        """Whether this lease has already been released."""
+        return self._released
+
+    def query(
+        self, query: Sequence[Hashable], method: str = "lctc", *, kernel: str = "csr", **kwargs
+    ) -> CommunityResult:
+        """Answer one query against the pinned snapshot (never a newer one)."""
+        from repro.ctc.api import search
+
+        return search(self.snapshot, query, method=method, kernel=kernel, **kwargs)
+
+    def release(self) -> None:
+        """Drop the pin (idempotent); reclamation may then evict the version."""
+        if self._released:
+            return
+        self._released = True
+        self._engine._unpin(self.snapshot.version)
+
+    def __enter__(self) -> "SnapshotLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "held"
+        return f"{type(self).__name__}(version={self.snapshot.version}, {state})"
 
 
 class CTCEngine:
@@ -383,7 +479,54 @@ class CTCEngine:
         self._cache: OrderedDict[int, EngineSnapshot] = OrderedDict()
         #: version -> delta that produced it (contiguous, bounded window).
         self._delta_log: OrderedDict[int, GraphDelta] = OrderedDict()
+        #: Guards every bookkeeping step (version/log/cache/stats/pins);
+        #: re-entrant so mutations may nest (maintainer cascades, window
+        #: expiry inside add_edge).  Heavy builds run outside it.
+        self._mutex = threading.RLock()
+        #: version -> outstanding lease count (epoch pins).
+        self._pins: dict[int, int] = {}
+        #: versions whose reclamation was deferred by a pin; evicted late
+        #: (on last unpin) rather than never.
+        self._deferred: set[int] = set()
+        #: version -> completion event of an in-flight snapshot build, so
+        #: concurrent misses on one version build it exactly once.
+        self._building: dict[int, threading.Event] = {}
         self.stats = EngineStats()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        csr: CSRGraph,
+        trussness: np.ndarray | None = None,
+        *,
+        supports: np.ndarray | None = None,
+        incidence: TriangleIncidence | None = None,
+        **kwargs,
+    ) -> "CTCEngine":
+        """Build an engine whose store is thawed from frozen snapshot arrays.
+
+        This is the worker-process entry point of the serving layer: a shard
+        worker attaches the parent's shared-memory CSR buffers
+        (:meth:`CSRGraph.from_shared`) and hands them here.  The mutable
+        store is thawed via :meth:`CSRGraph.to_graph`; when ``trussness`` is
+        given, the already-decomposed artifacts seed the version-0 snapshot
+        so the worker's first queries skip the from-scratch decomposition
+        entirely.  The arrays may be read-only (shared) views — snapshots
+        never mutate them.
+        """
+        engine = cls(csr.to_graph(), copy=False, **kwargs)
+        if trussness is not None:
+            seeded = EngineSnapshot(
+                version=0,
+                graph=engine._graph.copy(),
+                csr=csr,
+                trussness=trussness,
+                supports=supports,
+                incidence=incidence,
+                on_enumerate=engine._note_enumeration,
+            )
+            engine._store(seeded)
+        return engine
 
     # ------------------------------------------------------------------
     # store access
@@ -422,23 +565,25 @@ class CTCEngine:
         """Log one effective mutation: bump the version and append its delta."""
         if delta.is_empty():
             return
-        self._version += 1
-        self.stats.invalidations += 1
-        if self._delta_log_limit:
-            self._delta_log[self._version] = delta
-            while len(self._delta_log) > self._delta_log_limit:
-                self._delta_log.popitem(last=False)
+        with self._mutex:
+            self._version += 1
+            self.stats.invalidations += 1
+            if self._delta_log_limit:
+                self._delta_log[self._version] = delta
+                while len(self._delta_log) > self._delta_log_limit:
+                    self._delta_log.popitem(last=False)
 
     # ------------------------------------------------------------------
     # mutations (every effective one bumps the version and logs a delta)
     # ------------------------------------------------------------------
     def add_edge(self, u: Hashable, v: Hashable) -> None:
         """Add edge ``(u, v)`` to the store; a no-op if already present."""
-        if self._graph.has_edge(u, v):
-            return
-        added_nodes = [node for node in (u, v) if not self._graph.has_node(node)]
-        self._graph.add_edge(u, v)
-        self._record(GraphDelta(added_nodes=added_nodes, added_edges=[(u, v)]))
+        with self._mutex:
+            if self._graph.has_edge(u, v):
+                return
+            added_nodes = [node for node in (u, v) if not self._graph.has_node(node)]
+            self._graph.add_edge(u, v)
+            self._record(GraphDelta(added_nodes=added_nodes, added_edges=[(u, v)]))
 
     def add_edges_from(self, edges: Iterable[tuple[Hashable, Hashable]]) -> None:
         """Add every edge in ``edges``; bumps the version once if anything changed.
@@ -450,16 +595,17 @@ class CTCEngine:
         """
         added_nodes: set[Hashable] = set()
         added_edges: list[tuple[Hashable, Hashable]] = []
-        try:
-            for u, v in edges:
-                if self._graph.has_edge(u, v):
-                    continue
-                fresh = [node for node in (u, v) if not self._graph.has_node(node)]
-                self._graph.add_edge(u, v)
-                added_nodes.update(fresh)
-                added_edges.append((u, v))
-        finally:
-            self._record(GraphDelta(added_nodes=added_nodes, added_edges=added_edges))
+        with self._mutex:
+            try:
+                for u, v in edges:
+                    if self._graph.has_edge(u, v):
+                        continue
+                    fresh = [node for node in (u, v) if not self._graph.has_node(node)]
+                    self._graph.add_edge(u, v)
+                    added_nodes.update(fresh)
+                    added_edges.append((u, v))
+            finally:
+                self._record(GraphDelta(added_nodes=added_nodes, added_edges=added_edges))
 
     def remove_edge(self, u: Hashable, v: Hashable) -> None:
         """Remove edge ``(u, v)`` from the store.
@@ -469,15 +615,17 @@ class CTCEngine:
         EdgeNotFoundError
             If the edge is not present.
         """
-        self._graph.remove_edge(u, v)
-        self._record(GraphDelta(removed_edges=[(u, v)]))
+        with self._mutex:
+            self._graph.remove_edge(u, v)
+            self._record(GraphDelta(removed_edges=[(u, v)]))
 
     def add_node(self, node: Hashable) -> None:
         """Add ``node`` to the store; a no-op if already present."""
-        if self._graph.has_node(node):
-            return
-        self._graph.add_node(node)
-        self._record(GraphDelta(added_nodes=[node]))
+        with self._mutex:
+            if self._graph.has_node(node):
+                return
+            self._graph.add_node(node)
+            self._record(GraphDelta(added_nodes=[node]))
 
     def remove_node(self, node: Hashable) -> None:
         """Remove ``node`` and its incident edges from the store.
@@ -487,14 +635,15 @@ class CTCEngine:
         NodeNotFoundError
             If ``node`` is not in the store.
         """
-        neighbors = list(self._graph.neighbors(node))  # raises NodeNotFoundError
-        self._graph.remove_node(node)
-        self._record(
-            GraphDelta(
-                removed_nodes=[node],
-                removed_edges=[(node, other) for other in neighbors],
+        with self._mutex:
+            neighbors = list(self._graph.neighbors(node))  # raises NodeNotFoundError
+            self._graph.remove_node(node)
+            self._record(
+                GraphDelta(
+                    removed_nodes=[node],
+                    removed_edges=[(node, other) for other in neighbors],
+                )
             )
-        )
 
     # ------------------------------------------------------------------
     # maintenance integration (Algorithm 3 hooks)
@@ -535,25 +684,7 @@ class CTCEngine:
         the newest cached snapshot the log can reach, or a full rebuild
         (see the module docstring's rebuild policy).
         """
-        version = self._version
-        cached = self._cache.get(version)
-        if cached is not None:
-            self.stats.hits += 1
-            self._cache.move_to_end(version)
-            return cached
-
-        self.stats.misses += 1
-        started = time.perf_counter()
-        base = self._delta_base(version)
-        if base is not None:
-            built = self._build_from_delta(*base, version)
-            self.stats.delta_applies += 1
-        else:
-            built = self._build_full(version)
-            self.stats.full_rebuilds += 1
-        self.stats.build_seconds += time.perf_counter() - started
-        self._store(built)
-        return built
+        return self.snapshot_at(None)
 
     def retained_versions(self) -> tuple[int, int]:
         """Return the inclusive ``(oldest, newest)`` version range still readable.
@@ -561,69 +692,185 @@ class CTCEngine:
         The newest retained version is the current one; the oldest is one
         *before* the oldest logged delta (unwinding the log backwards from
         the live store stops there).  With the delta log disabled only the
-        current version is readable.
+        current version is readable.  A pinned version older than the window
+        additionally stays readable while its lease is held (its snapshot is
+        served straight from the cache — see :meth:`lease`).
         """
-        if self._delta_log:
-            return next(iter(self._delta_log)) - 1, self._version
-        return self._version, self._version
+        with self._mutex:
+            if self._delta_log:
+                return next(iter(self._delta_log)) - 1, self._version
+            return self._version, self._version
 
     def snapshot_at(self, version: int | None = None) -> EngineSnapshot:
         """Return the snapshot pinned at ``version`` (a time-travel read).
 
-        ``None`` or the current version defers to :meth:`snapshot`.  A
-        historical version is materialized from the nearest cached snapshot
-        on either side of it — forward through composed log deltas, or
-        backward through their composed inverses — falling back to unwinding
-        the live store and decomposing from scratch when no cached base is
-        within the ``delta_threshold`` budget.  The result is cached like
-        any other snapshot, so repeated reads at one pinned version build it
-        once.
+        ``None`` reads the current version.  A historical version is
+        materialized from the nearest cached snapshot on either side of it —
+        forward through composed log deltas, or backward through their
+        composed inverses — falling back to unwinding the live store and
+        decomposing from scratch when no cached base is within the
+        ``delta_threshold`` budget.  The result is cached like any other
+        snapshot, so repeated reads at one pinned version build it once.
+
+        Thread-safe: bookkeeping runs under the engine mutex, the build
+        itself outside it.  Concurrent misses on one version are coalesced —
+        the first caller builds, the rest wait on its completion event and
+        re-read the cache — and a cache hit never takes more than the mutex.
 
         Raises
         ------
         VersionEvictedError
             If ``version`` predates the retained log window (see
-            :meth:`retained_versions`).
+            :meth:`retained_versions`) and no lease keeps it cached.
         ValueError
             If ``version`` is negative or has not been produced yet.
         """
-        if version is None or version == self._version:
-            return self.snapshot()
-        if version < 0 or version > self._version:
-            raise ValueError(
-                f"version {version} does not exist; the store is at "
-                f"version {self._version}"
-            )
-        retained = self.retained_versions()
-        if version < retained[0]:
-            raise VersionEvictedError(version, retained)
+        while True:
+            with self._mutex:
+                target = self._version if version is None else version
+                if target < 0 or target > self._version:
+                    raise ValueError(
+                        f"version {version} does not exist; the store is at "
+                        f"version {self._version}"
+                    )
+                cached = self._cache.get(target)
+                if cached is not None:
+                    # Cache before eviction check: a pinned version stays
+                    # readable even after the log trimmed past it.
+                    self.stats.hits += 1
+                    self._cache.move_to_end(target)
+                    return cached
+                if target != self._version:
+                    if self._delta_log:
+                        oldest = next(iter(self._delta_log)) - 1
+                    else:
+                        oldest = self._version
+                    if target < oldest:
+                        raise VersionEvictedError(target, (oldest, self._version))
+                event = self._building.get(target)
+                builder = event is None
+                if builder:
+                    event = threading.Event()
+                    self._building[target] = event
+                    self.stats.misses += 1
+                    current = target == self._version
+                    frozen: UndirectedGraph | None = None
+                    if current:
+                        base = self._delta_base(target)
+                    else:
+                        self.stats.time_travel_reads += 1
+                        base = self._temporal_base(target)
+                    if base is None:
+                        # Freeze the store under the mutex; decompose outside.
+                        frozen = (
+                            self._graph.copy() if current else self._graph_at(target)
+                        )
+            if not builder:
+                # Another thread is already building this version: wait for
+                # it to publish, then re-read the cache.  (The mutex is not
+                # held here, so the builder can finish.)
+                event.wait()
+                continue
+            try:
+                started = time.perf_counter()
+                if base is not None:
+                    built = self._build_from_delta(*base, target)
+                else:
+                    built = self._build_full(frozen, target)
+                elapsed = time.perf_counter() - started
+            except BaseException:
+                with self._mutex:
+                    self._building.pop(target, None)
+                event.set()
+                raise
+            with self._mutex:
+                if base is not None:
+                    self.stats.delta_applies += 1
+                else:
+                    self.stats.full_rebuilds += 1
+                self.stats.build_seconds += elapsed
+                self._store(built)
+                self._building.pop(target, None)
+            event.set()
+            return built
 
-        cached = self._cache.get(version)
-        if cached is not None:
-            self.stats.hits += 1
-            self._cache.move_to_end(version)
-            return cached
+    # ------------------------------------------------------------------
+    # epoch-pinned leases
+    # ------------------------------------------------------------------
+    def lease(self, version: int | None = None) -> SnapshotLease:
+        """Pin the snapshot at ``version`` (default: current) and return a lease.
 
-        self.stats.misses += 1
-        self.stats.time_travel_reads += 1
-        started = time.perf_counter()
-        base = self._temporal_base(version)
-        if base is not None:
-            built = self._build_from_delta(*base, version)
-            self.stats.delta_applies += 1
-        else:
-            built = self._build_full(version)
-            self.stats.full_rebuilds += 1
-        self.stats.build_seconds += time.perf_counter() - started
-        self._store(built)
-        return built
+        While the lease is held the LRU defers reclaiming the version, so
+        the holder can keep resolving it via :meth:`snapshot_at` (or query
+        the pinned :attr:`SnapshotLease.snapshot` directly) no matter how
+        far the writer advances.  Release promptly — every deferred version
+        is cache memory the sweep cannot reclaim.
+        """
+        snapshot = self.snapshot_at(version)
+        with self._mutex:
+            # The snapshot may have been evicted between the resolve and the
+            # pin (another thread's build overflowed the LRU): re-adopt it.
+            if snapshot.version not in self._cache:
+                self._cache[snapshot.version] = snapshot
+            self._pins[snapshot.version] = self._pins.get(snapshot.version, 0) + 1
+            self.stats.leases += 1
+        return SnapshotLease(self, snapshot)
+
+    def _unpin(self, version: int) -> None:
+        """Drop one pin on ``version``; run the deferred sweep on the last.
+
+        A version whose reclamation was deferred while pinned is evicted
+        here (unless it is the current head): the eviction it dodged is
+        merely late, not cancelled.
+        """
+        with self._mutex:
+            count = self._pins.get(version, 0) - 1
+            if count > 0:
+                self._pins[version] = count
+                return
+            self._pins.pop(version, None)
+            if (
+                version in self._deferred
+                and version != self._version
+                and version in self._cache
+            ):
+                del self._cache[version]
+                self.stats.evictions += 1
+            self._deferred.discard(version)
+            self._reclaim()
+
+    def pinned_versions(self) -> list[int]:
+        """Return the versions currently pinned by outstanding leases."""
+        with self._mutex:
+            return sorted(self._pins)
 
     def _store(self, built: EngineSnapshot) -> None:
-        """Insert ``built`` into the LRU, evicting the stalest overflow."""
+        """Insert ``built`` into the LRU and reclaim any unpinned overflow."""
         self._cache[built.version] = built
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        self._reclaim()
+
+    def _reclaim(self) -> None:
+        """Evict the stalest unpinned snapshots beyond capacity.
+
+        Pinned versions are skipped (deferred reclamation, counted in
+        :attr:`EngineStats.deferred_reclamations`); :meth:`_unpin` re-runs
+        the sweep when the last lease on a version releases, so the cache
+        shrinks back to capacity as soon as the pins allow.
+        """
+        overflow = len(self._cache) - self._cache_size
+        if overflow <= 0:
+            return
+        for version in list(self._cache):
+            if overflow <= 0:
+                break
+            if self._pins.get(version):
+                self.stats.deferred_reclamations += 1
+                self._deferred.add(version)
+                continue
+            del self._cache[version]
+            self._deferred.discard(version)
             self.stats.evictions += 1
+            overflow -= 1
 
     def _delta_base(self, version: int) -> tuple[EngineSnapshot, GraphDelta] | None:
         """Return the newest cached snapshot the policy allows patching from.
@@ -698,11 +945,12 @@ class CTCEngine:
             _apply_delta_to_graph(frozen, self._delta_log[step].inverted())
         return frozen
 
-    def _build_full(self, version: int) -> EngineSnapshot:
-        """Freeze the store at ``version`` and decompose it from scratch.
+    def _build_full(self, frozen: UndirectedGraph, version: int) -> EngineSnapshot:
+        """Decompose the pre-frozen ``frozen`` graph (version ``version``) from scratch.
 
-        ``version`` is normally the current one (a plain copy of the store);
-        a historical version is first reconstructed by :meth:`_graph_at`.
+        The caller froze the store under the engine mutex (a plain copy for
+        the current version, a :meth:`_graph_at` reconstruction for a
+        historical one); the decomposition here runs without any lock.
         Runs triangle enumeration + decomposition once via
         :func:`~repro.trusses.csr_decomposition.csr_decompose` (strategy
         from the ``decomp`` knob) and hands every artifact of the pass —
@@ -713,11 +961,10 @@ class CTCEngine:
         :attr:`EngineSnapshot.index` materializes it on first dict-path
         access.
         """
-        frozen = self._graph.copy() if version == self._version else self._graph_at(version)
         csr = CSRGraph.from_graph(frozen)
         result = csr_decompose(csr, method=self._decomp)
         if result.incidence is not None:
-            self.stats.incidence_enumerations += 1
+            self._note_enumeration()
         return EngineSnapshot(
             version=version,
             graph=frozen,
@@ -730,7 +977,8 @@ class CTCEngine:
 
     def _note_enumeration(self) -> None:
         """Count one full triangle enumeration (see :class:`EngineStats`)."""
-        self.stats.incidence_enumerations += 1
+        with self._mutex:
+            self.stats.incidence_enumerations += 1
 
     def _build_from_delta(
         self, base: EngineSnapshot, delta: GraphDelta, version: int
@@ -763,7 +1011,8 @@ class CTCEngine:
             # kernel of the new snapshot never re-enumerates (and the
             # maintenance below reads triangles straight off it).
             incidence = patch_incidence(base.incidence, patch)
-            self.stats.incidence_patches += 1
+            with self._mutex:
+                self.stats.incidence_patches += 1
         trussness, changed = incremental_truss_update(
             base.csr,
             base.trussness,
@@ -804,15 +1053,25 @@ class CTCEngine:
 
     def cached_versions(self) -> list[int]:
         """Return the versions currently cached, oldest first."""
-        return list(self._cache)
+        with self._mutex:
+            return list(self._cache)
 
     def logged_versions(self) -> list[int]:
         """Return the versions currently covered by the delta log, oldest first."""
-        return list(self._delta_log)
+        with self._mutex:
+            return list(self._delta_log)
 
     def clear_cache(self) -> None:
-        """Drop every cached snapshot (they are rebuilt on demand)."""
-        self._cache.clear()
+        """Drop every cached snapshot except pinned ones (rebuilt on demand)."""
+        with self._mutex:
+            if self._pins:
+                self._cache = OrderedDict(
+                    (version, snapshot)
+                    for version, snapshot in self._cache.items()
+                    if self._pins.get(version)
+                )
+            else:
+                self._cache.clear()
 
     # ------------------------------------------------------------------
     # queries
@@ -898,11 +1157,12 @@ class _EngineMaintainer(KTrussMaintainer):
         self._expected_version = self._engine.version
 
     def delete_vertices(self, vertices: Iterable[Hashable]) -> tuple[set, set]:
-        if self._engine.version != self._expected_version:
-            raise StaleMaintainerError(
-                f"the engine's store moved from version {self._expected_version} "
-                f"to {self._engine.version} since this maintainer was created; "
-                "its support table is stale — obtain a fresh maintainer via "
-                "CTCEngine.maintainer()"
-            )
-        return super().delete_vertices(vertices)
+        with self._engine._mutex:
+            if self._engine.version != self._expected_version:
+                raise StaleMaintainerError(
+                    f"the engine's store moved from version {self._expected_version} "
+                    f"to {self._engine.version} since this maintainer was created; "
+                    "its support table is stale — obtain a fresh maintainer via "
+                    "CTCEngine.maintainer()"
+                )
+            return super().delete_vertices(vertices)

@@ -1,0 +1,733 @@
+""":class:`ServingEngine`: a concurrent, batched front-end over :class:`CTCEngine`.
+
+The engine core is an MVCC design — immutable version-keyed snapshots over
+a delta log — but by itself it serves one query at a time.  This module
+adds the serving layer the ROADMAP's "millions of users" track calls for:
+
+* **Thread mode** (``mode="thread"``): one shared :class:`CTCEngine`
+  behind a thread pool.  :meth:`ServingEngine.query_batch` takes a single
+  epoch-pinned :class:`~repro.engine.core.SnapshotLease`, warms the
+  snapshot's lazy kernel once, and fans the batch out across the pool —
+  so ``B`` concurrently-arriving queries pay **one** snapshot resolution
+  (delta apply or rebuild) and **one** kernel setup instead of ``B``.
+  The writer keeps mutating underneath; the lease guarantees every query
+  in the batch reads one consistent version.
+* **Process mode** (``mode="process"``): the store is sharded by connected
+  component (:func:`~repro.graph.components.balanced_shards`; nodes first
+  seen on a new edge fall back to a stable hash of the canonical edge
+  key), and each shard is served by a worker process.  The parent exports
+  every shard's frozen CSR buffers — adjacency, per-edge trussness,
+  supports, triangle incidence — into ``multiprocessing.shared_memory``
+  (:meth:`~repro.graph.csr.CSRGraph.to_shared`), so workers map their
+  snapshots zero-copy and skip the from-scratch decomposition entirely
+  (:meth:`CTCEngine.from_arrays`).  Mutations are routed to the owning
+  shard fire-and-forget (the writer never blocks on a worker), which
+  means a mutation dirties **one shard's** snapshot instead of the whole
+  store — on a multi-community graph that is the dominant win, on top of
+  whatever hardware parallelism the host offers.
+* **Async facade**: :meth:`ServingEngine.aquery` queues concurrently
+  arriving ``asyncio`` queries and drains them in grouped
+  :meth:`query_batch` calls, so independent coroutines coalesce onto one
+  pinned snapshot without coordinating with each other.
+
+Shard semantics (process mode)
+------------------------------
+Truss communities never span connected components, so any query whose
+nodes live in one shard gets exactly the same answer as on the unsharded
+store (the equivalence the test suite pins).  Queries spanning shards
+raise :class:`~repro.exceptions.NoCommunityFoundError` — on the unsharded
+store they would raise that or :class:`~repro.exceptions.QueryError`
+("terminals are not mutually connected"), depending on the method; the
+router cannot tell which without running the query, so it reports the
+model-level truth (no connected community exists).  Mutations that would
+*merge* two shards raise
+:class:`~repro.exceptions.CrossShardMutationError`.
+
+Shared-memory ownership: the parent creates each shard's buffers, keeps
+them alive for the worker's lifetime, and unlinks them in :meth:`close`
+(also run by ``__exit__`` and at interpreter exit via ``atexit``);
+workers merely attach and drop their mapping on shutdown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import asyncio
+import itertools
+import pickle
+import threading
+import zlib
+from collections import defaultdict
+from collections.abc import Hashable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+
+import multiprocessing
+
+import numpy as np
+
+from repro.ctc.result import CommunityResult
+from repro.engine.core import CTCEngine
+from repro.exceptions import (
+    ConfigurationError,
+    CrossShardMutationError,
+    EdgeNotFoundError,
+    NoCommunityFoundError,
+    QueryError,
+)
+from repro.graph.components import balanced_shards
+from repro.graph.csr import CSRGraph
+from repro.graph.csr_triangles import TriangleIncidence, subset_incidence
+from repro.graph.keys import edge_key
+from repro.graph.shm import SharedArrayBundle
+from repro.graph.simple_graph import UndirectedGraph
+
+__all__ = ["ServingEngine", "ServingStats"]
+
+#: Worker shutdown grace period before the parent terminates the process.
+_JOIN_TIMEOUT_SECONDS = 5.0
+
+
+@dataclass
+class ServingStats:
+    """Per-front-end counters (cumulative over the serving engine's lifetime).
+
+    ``coalesced_queries`` counts queries that rode along on another query's
+    snapshot resolution — ``queries`` minus the number of snapshot
+    resolutions actually performed (leases in thread mode, shard-batch
+    messages in process mode).  ``snapshot_reuses`` counts resolutions that
+    landed on the same version as the previous one on that
+    engine/shard — i.e. the store had not moved, so even the delta apply
+    was skipped.  ``cross_shard_rejects`` counts queries refused because
+    their nodes span shards (process mode only).
+    """
+
+    mode: str = "thread"
+    workers: int = 0
+    batches: int = 0
+    queries: int = 0
+    coalesced_queries: int = 0
+    leases: int = 0
+    snapshot_reuses: int = 0
+    cross_shard_rejects: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the counters as a plain dict (for CLI/benchmark reporting)."""
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "batches": self.batches,
+            "queries": self.queries,
+            "coalesced_queries": self.coalesced_queries,
+            "leases": self.leases,
+            "snapshot_reuses": self.snapshot_reuses,
+            "cross_shard_rejects": self.cross_shard_rejects,
+        }
+
+
+def _picklable_exception(exc: Exception) -> Exception:
+    """Return ``exc`` if it survives a pickle round-trip, else a plain stand-in.
+
+    Library exceptions with custom constructor signatures (e.g.
+    ``VersionEvictedError``) do not all reconstruct from ``exc.args``; the
+    stand-in keeps the message and original type name so the parent still
+    reports something actionable.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return QueryError(f"{type(exc).__name__}: {exc}")
+
+
+def _shard_worker(conn, meta, engine_kwargs: dict, untrack: bool) -> None:
+    """Serve one shard from shared-memory snapshot buffers (worker main).
+
+    Attaches the parent's bundle zero-copy, seeds a shard-local
+    :class:`CTCEngine` from the already-decomposed arrays, then answers
+    ordered messages on ``conn``:
+
+    * ``("mutate", op_name, args)`` — apply a store mutation; no reply
+      (fire-and-forget keeps the parent's writer non-blocking).
+    * ``("query_batch", rid, queries, method, kernel, kwargs)`` — answer
+      every query against one snapshot; replies
+      ``("result", rid, [("ok", result) | ("err", exc), ...], version)``.
+    * ``("stats", rid)`` — replies with the shard engine's counter dict.
+    * ``("stop",)`` — exit.
+    """
+    import gc
+
+    from repro.ctc.api import search
+
+    # Fork-server hygiene: move the inherited parent heap into the permanent
+    # generation so worker GC cycles never traverse (and copy-on-write
+    # unshare) it — otherwise periodic gen-2 collections inside a worker
+    # stall whole query batches.
+    gc.collect()
+    gc.freeze()
+
+    bundle = SharedArrayBundle.attach(meta, untrack=untrack)
+    try:
+        csr = CSRGraph.from_shared(bundle)
+        supports = bundle["supports"]
+        incidence = None
+        if "inc_indptr" in bundle:
+            incidence = TriangleIncidence(
+                edges=bundle["tri_edges"],
+                supports=supports,
+                inc_indptr=bundle["inc_indptr"],
+                inc_triangles=bundle["inc_triangles"],
+            )
+        engine = CTCEngine.from_arrays(
+            csr,
+            bundle["trussness"],
+            supports=supports,
+            incidence=incidence,
+            **engine_kwargs,
+        )
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = message[0]
+            if op == "stop":
+                break
+            if op == "mutate":
+                _, op_name, args = message
+                try:
+                    getattr(engine, op_name)(*args)
+                except Exception:
+                    # The parent validated against its authoritative mirror
+                    # before routing; a failure here means the op raced a
+                    # semantically equivalent one (e.g. re-adding an edge)
+                    # and is safe to drop.
+                    pass
+            elif op == "query_batch":
+                _, rid, queries, method, kernel, kwargs = message
+                snapshot = engine.snapshot()
+                replies = []
+                for query in queries:
+                    try:
+                        result = search(
+                            snapshot, query, method=method, kernel=kernel, **kwargs
+                        )
+                        replies.append(("ok", result))
+                    except Exception as exc:
+                        replies.append(("err", _picklable_exception(exc)))
+                conn.send(("result", rid, replies, engine.version))
+            elif op == "stats":
+                _, rid = message
+                conn.send(("result", rid, engine.stats.as_dict(), engine.version))
+    finally:
+        conn.close()
+        bundle.close()
+
+
+class ServingEngine:
+    """Batched, concurrent query serving over one logical graph store.
+
+    Parameters
+    ----------
+    source:
+        The graph to serve: an :class:`UndirectedGraph` (copied), or an
+        existing :class:`CTCEngine` — thread mode serves the engine
+        *in place* (sharing its store and cache), process mode freezes its
+        current snapshot as the shard baseline.
+    workers:
+        Thread-pool width (thread mode) / maximum shard worker processes
+        (process mode; capped by the number of connected components).
+    mode:
+        ``"thread"`` (default) or ``"process"`` — see the module docstring.
+    **engine_kwargs:
+        Forwarded to every internally created :class:`CTCEngine`
+        (``cache_size``, ``delta_threshold``, ``delta_log_limit``,
+        ``decomp``).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import complete_graph
+    >>> with ServingEngine(complete_graph(5), workers=2) as serving:
+    ...     [r.trussness for r in serving.query_batch([[0, 1], [2, 3]])]
+    [5, 5]
+    """
+
+    def __init__(
+        self,
+        source: UndirectedGraph | CTCEngine,
+        *,
+        workers: int = 4,
+        mode: str = "thread",
+        **engine_kwargs,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        self._mode = mode
+        self._workers = workers
+        self._engine_kwargs = dict(engine_kwargs)
+        self._closed = False
+        self._lock = threading.RLock()
+        self._rid = itertools.count()
+        self.stats = ServingStats(mode=mode, workers=workers)
+
+        # Async facade state (lazy; only touched from the event loop thread).
+        self._pending: list = []
+        self._drain_task: asyncio.Task | None = None
+
+        if mode == "thread":
+            if isinstance(source, CTCEngine):
+                self._engine = source
+            else:
+                self._engine = CTCEngine(source, **engine_kwargs)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serving"
+            )
+            self._last_version: int | None = None
+        else:
+            self._start_process_workers(source)
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    # process-mode setup
+    # ------------------------------------------------------------------
+    def _start_process_workers(self, source: UndirectedGraph | CTCEngine) -> None:
+        """Shard the store, export shm snapshot buffers, fork the workers."""
+        if isinstance(source, CTCEngine):
+            baseline = source
+        else:
+            baseline = CTCEngine(source, **self._engine_kwargs)
+        snapshot = baseline.snapshot()
+        csr = snapshot.csr
+        #: Authoritative routing mirror: same content as the union of all
+        #: shard stores, mutated in lock-step with the routed mutations.
+        self._mirror = snapshot.graph.copy()
+
+        shards = balanced_shards(self._mirror, self._workers)
+        if not shards:
+            shards = [set()]  # empty store: one idle worker keeps the API total
+        self._node_shard: dict[Hashable, int] = {
+            node: index for index, nodes in enumerate(shards) for node in nodes
+        }
+        self._shard_versions: list[int] = [0] * len(shards)
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            context = multiprocessing.get_context("spawn")
+
+        node_is_sharded = np.zeros(csr.number_of_nodes(), dtype=bool)
+        self._bundles: list[SharedArrayBundle] = []
+        self._conns = []
+        self._procs = []
+        try:
+            for index, nodes in enumerate(shards):
+                node_ids = np.asarray(
+                    sorted(csr.node_id(node) for node in nodes), dtype=np.int64
+                )
+                node_is_sharded[:] = False
+                node_is_sharded[node_ids] = True
+                # Shards are unions of components: an edge's lower endpoint
+                # being in the shard implies the upper one is too.
+                shard_edges = np.nonzero(node_is_sharded[csr.edge_u])[0]
+                sub = csr.edge_subgraph(shard_edges, include_node_ids=node_ids)
+                extra = {
+                    "trussness": snapshot.trussness[sub.edge_origin],
+                    "supports": snapshot.supports[sub.edge_origin],
+                }
+                if snapshot.incidence is not None:
+                    shard_incidence = subset_incidence(
+                        snapshot.incidence, sub.edge_origin
+                    )
+                    extra["tri_edges"] = shard_incidence.edges
+                    extra["inc_indptr"] = shard_incidence.inc_indptr
+                    extra["inc_triangles"] = shard_incidence.inc_triangles
+                bundle = sub.csr.to_shared(f"repro_s{index}", extra_arrays=extra)
+                self._bundles.append(bundle)
+
+                parent_conn, child_conn = context.Pipe()
+                # Spawn-started workers run their own resource tracker and
+                # must untrack; fork-started workers share the parent's.
+                process = context.Process(
+                    target=_shard_worker,
+                    args=(
+                        child_conn,
+                        bundle.meta,
+                        self._engine_kwargs,
+                        context.get_start_method() != "fork",
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(process)
+        except BaseException:
+            self._shutdown_process_workers()
+            raise
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """``"thread"`` or ``"process"``."""
+        return self._mode
+
+    @property
+    def workers(self) -> int:
+        """The configured worker count (process mode may run fewer shards)."""
+        return self._workers
+
+    @property
+    def shard_count(self) -> int:
+        """The number of shard workers (1 in thread mode)."""
+        return len(self._conns) if self._mode == "process" else 1
+
+    @property
+    def graph(self) -> UndirectedGraph:
+        """The logical store: the engine's store, or the routing mirror.
+
+        Mutate only through :meth:`add_edge` / :meth:`remove_edge` — in
+        process mode this is the parent's mirror, and direct mutation would
+        desynchronize it from the shard workers.
+        """
+        if self._mode == "thread":
+            return self._engine.graph
+        return self._mirror
+
+    def shard_of(self, node: Hashable) -> int | None:
+        """Return the shard index owning ``node`` (``None`` if unknown)."""
+        if self._mode == "thread":
+            return 0 if self._engine.graph.has_node(node) else None
+        return self._node_shard.get(node)
+
+    def engine_stats(self) -> dict[str, float]:
+        """Return the underlying engine counters, summed across shards."""
+        if self._mode == "thread":
+            return self._engine.stats.as_dict()
+        with self._lock:
+            totals: dict[str, float] = {}
+            for conn in self._conns:
+                rid = next(self._rid)
+                conn.send(("stats", rid))
+                _, _, counters, _ = conn.recv()
+                for key, value in counters.items():
+                    totals[key] = totals.get(key, 0) + value
+            return totals
+
+    # ------------------------------------------------------------------
+    # mutations (routed; the writer never blocks on a reader or a worker)
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add edge ``(u, v)``; in process mode it is routed to its shard.
+
+        A brand-new edge (neither endpoint seen before) is assigned by a
+        stable hash of its canonical edge key; an edge whose endpoints live
+        on *different* shards raises
+        :class:`~repro.exceptions.CrossShardMutationError` (it would merge
+        two components across worker processes).
+        """
+        if self._mode == "thread":
+            self._engine.add_edge(u, v)
+            return
+        with self._lock:
+            if self._mirror.has_edge(u, v):
+                return
+            shard_u = self._node_shard.get(u)
+            shard_v = self._node_shard.get(v)
+            if shard_u is not None and shard_v is not None and shard_u != shard_v:
+                raise CrossShardMutationError(
+                    f"edge ({u!r}, {v!r}) would span shards {shard_u} and "
+                    f"{shard_v}; the process-mode serving engine cannot merge "
+                    "components across worker processes"
+                )
+            shard = shard_u if shard_u is not None else shard_v
+            if shard is None:
+                shard = self._hash_shard(u, v)
+            self._mirror.add_edge(u, v)
+            self._node_shard[u] = shard
+            self._node_shard[v] = shard
+            self._conns[shard].send(("mutate", "add_edge", (u, v)))
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        """Remove edge ``(u, v)`` (raises ``EdgeNotFoundError`` if absent)."""
+        if self._mode == "thread":
+            self._engine.remove_edge(u, v)
+            return
+        with self._lock:
+            self._mirror.remove_edge(u, v)  # authoritative membership check
+            self._conns[self._node_shard[u]].send(("mutate", "remove_edge", (u, v)))
+
+    def _hash_shard(self, u: Hashable, v: Hashable) -> int:
+        """Stable fallback shard for an edge between two brand-new nodes.
+
+        ``zlib.crc32`` of the canonical edge key's ``repr`` — deterministic
+        across processes and runs, unlike the salted built-in ``hash``.
+        """
+        key = edge_key(u, v)
+        return zlib.crc32(repr(key).encode("utf-8")) % len(self._conns)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: Sequence[Hashable],
+        method: str = "lctc",
+        *,
+        kernel: str = "csr",
+        at_version: int | None = None,
+        **kwargs,
+    ) -> CommunityResult:
+        """Answer one query (a batch of one; prefer :meth:`query_batch`)."""
+        return self.query_batch(
+            [query], method, kernel=kernel, at_version=at_version, **kwargs
+        )[0]
+
+    def query_batch(
+        self,
+        queries: Iterable[Sequence[Hashable]],
+        method: str = "lctc",
+        *,
+        kernel: str = "csr",
+        at_version: int | None = None,
+        return_exceptions: bool = False,
+        **kwargs,
+    ) -> list:
+        """Answer many concurrently-arriving queries, amortizing setup.
+
+        The whole batch reads one consistent store version per shard: thread
+        mode pins a single :class:`SnapshotLease` for the batch, process
+        mode resolves one snapshot per shard touched.  With
+        ``return_exceptions=True`` per-query failures come back as exception
+        *objects* in their result slots instead of aborting the batch —
+        the contract the async facade relies on.  ``at_version`` time-travel
+        pinning is thread-mode only (shard workers hold independent version
+        histories); process mode raises
+        :class:`~repro.exceptions.ConfigurationError` for it.
+        """
+        batch = [list(query) for query in queries]
+        if self._mode == "process":
+            if at_version is not None:
+                raise ConfigurationError(
+                    "at_version is not supported in process serving mode: "
+                    "shard workers hold independent version histories; use "
+                    "thread mode (or a plain CTCEngine) for time-travel reads"
+                )
+            return self._query_batch_process(
+                batch, method, kernel, kwargs, return_exceptions
+            )
+        return self._query_batch_thread(
+            batch, method, kernel, at_version, kwargs, return_exceptions
+        )
+
+    def _query_batch_thread(
+        self, batch, method, kernel, at_version, kwargs, return_exceptions
+    ) -> list:
+        from repro.ctc.api import search
+
+        with self._engine.lease(at_version) as lease:
+            with self._lock:
+                self.stats.batches += 1
+                self.stats.queries += len(batch)
+                self.stats.coalesced_queries += max(0, len(batch) - 1)
+                self.stats.leases += 1
+                if lease.version == self._last_version:
+                    self.stats.snapshot_reuses += 1
+                self._last_version = lease.version
+            snapshot = lease.snapshot
+            # Warm the lazy per-version structure once, before the fan-out,
+            # so the workers never race to build it B times.
+            if kernel == "dict":
+                snapshot.index
+            else:
+                snapshot.kernel
+            if not batch:
+                return []
+
+            def run(query):
+                try:
+                    return search(snapshot, query, method=method, kernel=kernel, **kwargs)
+                except Exception as exc:
+                    return exc
+
+            results = list(self._pool.map(run, batch))
+        if not return_exceptions:
+            for result in results:
+                if isinstance(result, Exception):
+                    raise result
+        return results
+
+    def _query_batch_process(
+        self, batch, method, kernel, kwargs, return_exceptions
+    ) -> list:
+        results: list = [None] * len(batch)
+        per_shard: dict[int, list[int]] = defaultdict(list)
+        for position, query in enumerate(batch):
+            try:
+                per_shard[self._route_query(query)].append(position)
+            except Exception as exc:
+                if not return_exceptions:
+                    raise
+                results[position] = exc
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.queries += len(batch)
+            self.stats.coalesced_queries += len(batch) - len(per_shard)
+            for shard, positions in per_shard.items():
+                self._conns[shard].send(
+                    (
+                        "query_batch",
+                        next(self._rid),
+                        [batch[position] for position in positions],
+                        method,
+                        kernel,
+                        kwargs,
+                    )
+                )
+            for shard, positions in per_shard.items():
+                _, _, replies, version = self._conns[shard].recv()
+                if version == self._shard_versions[shard]:
+                    self.stats.snapshot_reuses += 1
+                self._shard_versions[shard] = version
+                for position, (_, payload) in zip(positions, replies):
+                    results[position] = payload
+        # Drain every shard's reply before raising, or the unread pipes
+        # would desynchronize the next batch's request/reply pairing.
+        if not return_exceptions:
+            for result in results:
+                if isinstance(result, Exception):
+                    raise result
+        return results
+
+    def _route_query(self, query: list) -> int:
+        """Return the shard answering ``query``; raise like the kernels would."""
+        nodes = list(dict.fromkeys(query))
+        if not nodes:
+            raise QueryError("the query node set must not be empty")
+        shards = set()
+        missing = [node for node in nodes if node not in self._node_shard]
+        if missing:
+            raise QueryError(f"query nodes not present in the graph: {missing!r}")
+        shards = {self._node_shard[node] for node in nodes}
+        if len(shards) > 1:
+            with self._lock:
+                self.stats.cross_shard_rejects += 1
+            raise NoCommunityFoundError(
+                f"query nodes {nodes!r} lie in different serving shards "
+                "(disconnected components); no connected community contains "
+                "them all"
+            )
+        return next(iter(shards))
+
+    # ------------------------------------------------------------------
+    # async facade
+    # ------------------------------------------------------------------
+    async def aquery(
+        self,
+        query: Sequence[Hashable],
+        method: str = "lctc",
+        *,
+        kernel: str = "csr",
+        **kwargs,
+    ) -> CommunityResult:
+        """Answer one query, coalescing with concurrently-awaiting callers.
+
+        Every ``aquery`` call enqueues; a single drainer task groups the
+        backlog by ``(method, kernel, kwargs)`` and runs each group as one
+        :meth:`query_batch` in a worker thread — so N coroutines gathered
+        together resolve N queries against one pinned snapshot, without the
+        callers knowing about each other.  Must run inside an event loop.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        group = (method, kernel, tuple(sorted(kwargs.items())))
+        self._pending.append((group, list(query), kwargs, future))
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = loop.create_task(self._drain_pending())
+        return await future
+
+    async def _drain_pending(self) -> None:
+        loop = asyncio.get_running_loop()
+        while self._pending:
+            # One tick lets every already-scheduled aquery coroutine enqueue
+            # before the batch is cut — that is the whole coalescing trick.
+            await asyncio.sleep(0)
+            backlog, self._pending = self._pending, []
+            groups: dict = defaultdict(list)
+            for group, query, kwargs, future in backlog:
+                groups[group].append((query, kwargs, future))
+            for (method, kernel, _), items in groups.items():
+                queries = [query for query, _, _ in items]
+                kwargs = items[0][1]
+                try:
+                    results = await loop.run_in_executor(
+                        None,
+                        partial(
+                            self.query_batch,
+                            queries,
+                            method,
+                            kernel=kernel,
+                            return_exceptions=True,
+                            **kwargs,
+                        ),
+                    )
+                except Exception as exc:  # batch-level failure (e.g. closed)
+                    results = [exc] * len(items)
+                for (_, _, future), result in zip(items, results):
+                    if future.cancelled():
+                        continue
+                    if isinstance(result, Exception):
+                        future.set_exception(result)
+                    else:
+                        future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and release shared-memory segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        if self._mode == "thread":
+            self._pool.shutdown(wait=True)
+        else:
+            self._shutdown_process_workers()
+
+    def _shutdown_process_workers(self) -> None:
+        for conn in getattr(self, "_conns", []):
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in getattr(self, "_procs", []):
+            process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        for conn in getattr(self, "_conns", []):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for bundle in getattr(self, "_bundles", []):
+            bundle.unlink()
+        self._conns, self._procs, self._bundles = [], [], []
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"{type(self).__name__}(mode={self._mode!r}, "
+            f"workers={self._workers}, shards={self.shard_count}, {state})"
+        )

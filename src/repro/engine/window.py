@@ -144,13 +144,14 @@ class SlidingWindowEngine(CTCEngine):
         Re-inserting a live edge refreshes its window position without
         mutating the store.
         """
-        key = edge_key(u, v)
-        if self._graph.has_edge(u, v):
+        with self._mutex:
+            key = edge_key(u, v)
+            if self._graph.has_edge(u, v):
+                self._stamp(key)
+                return
+            super().add_edge(u, v)
             self._stamp(key)
-            return
-        super().add_edge(u, v)
-        self._stamp(key)
-        self._expire()
+            self._expire()
 
     def add_edges_from(self, edges: Iterable[tuple[Hashable, Hashable]]) -> None:
         """Insert every edge in stream order (one window step per edge).
@@ -159,20 +160,23 @@ class SlidingWindowEngine(CTCEngine):
         window expiry is interleaved with the insertions, so batching them
         into one delta would reorder expirations against arrivals.
         """
-        for u, v in edges:
-            self.add_edge(u, v)
+        with self._mutex:
+            for u, v in edges:
+                self.add_edge(u, v)
 
     def remove_edge(self, u: Hashable, v: Hashable) -> None:
         """Remove edge ``(u, v)`` from the store and the window early."""
-        super().remove_edge(u, v)
-        self._live.pop(edge_key(u, v), None)
+        with self._mutex:
+            super().remove_edge(u, v)
+            self._live.pop(edge_key(u, v), None)
 
     def remove_node(self, node: Hashable) -> None:
         """Remove ``node``; its incident edges leave the window early."""
-        neighbors = list(self._graph.neighbors(node))  # raises NodeNotFoundError
-        super().remove_node(node)
-        for other in neighbors:
-            self._live.pop(edge_key(node, other), None)
+        with self._mutex:
+            neighbors = list(self._graph.neighbors(node))  # raises NodeNotFoundError
+            super().remove_node(node)
+            for other in neighbors:
+                self._live.pop(edge_key(node, other), None)
 
     def maintainer(self, k: int) -> KTrussMaintainer:
         """Unsupported: cascades would bypass the window's edge bookkeeping."""

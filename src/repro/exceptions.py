@@ -99,5 +99,16 @@ class VersionEvictedError(ReproError):
         self.retained = retained
 
 
+class CrossShardMutationError(GraphError):
+    """A mutation would create an edge spanning two serving shards.
+
+    The process-mode :class:`~repro.engine.serving.ServingEngine` partitions
+    the store by connected component; an edge between nodes living on
+    different shards would merge two components across worker processes,
+    which the shard-parallel design cannot represent.  Route such workloads
+    through a single-process engine (or thread mode) instead.
+    """
+
+
 class ConfigurationError(ReproError):
     """An experiment or dataset configuration is inconsistent."""

@@ -26,6 +26,7 @@ __all__ = [
     "nodes_are_connected",
     "component_count",
     "largest_component",
+    "balanced_shards",
     "UnionFind",
 ]
 
@@ -106,6 +107,45 @@ def largest_component(graph: UndirectedGraph) -> set[Hashable]:
     if not components:
         return set()
     return max(components, key=len)
+
+
+def balanced_shards(
+    graph: UndirectedGraph, shard_count: int
+) -> list[set[Hashable]]:
+    """Partition the graph's components into at most ``shard_count`` shards.
+
+    The serving layer (:mod:`repro.engine.serving`) assigns each connected
+    component wholly to one shard — truss communities never span components,
+    so shards can rebuild and answer queries independently.  Components are
+    greedily bin-packed by descending edge count (longest-processing-time
+    heuristic) onto the currently lightest shard, which keeps shard rebuild
+    costs balanced; ties break on discovery order, so the assignment is
+    deterministic for a deterministically built graph.
+
+    Returns between 1 and ``shard_count`` non-empty node sets (fewer when
+    there are fewer components than shards; a single set for an empty
+    graph is never returned — the list is empty instead).
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    components = connected_components(graph)
+    if not components:
+        return []
+    shard_count = min(shard_count, len(components))
+    # Weight = intra-component edge count; isolated nodes still weigh 1 so
+    # they spread across shards instead of all landing on the first.
+    weights = [
+        max(1, sum(graph.degree(node) for node in component) // 2)
+        for component in components
+    ]
+    order = sorted(range(len(components)), key=lambda i: (-weights[i], i))
+    shards: list[set[Hashable]] = [set() for _ in range(shard_count)]
+    loads = [0] * shard_count
+    for index in order:
+        lightest = min(range(shard_count), key=lambda s: (loads[s], s))
+        shards[lightest] |= components[index]
+        loads[lightest] += weights[index]
+    return shards
 
 
 class UnionFind:

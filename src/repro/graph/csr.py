@@ -175,7 +175,10 @@ class CSRGraph:
     3
     """
 
-    __slots__ = ("indptr", "indices", "slot_edge", "edge_u", "edge_v", "_labels", "_ids")
+    __slots__ = (
+        "indptr", "indices", "slot_edge", "edge_u", "edge_v", "_labels", "_ids",
+        "_retained",
+    )
 
     def __init__(
         self,
@@ -194,6 +197,9 @@ class CSRGraph:
         self.edge_v = edge_v
         self._labels = labels
         self._ids = ids
+        #: Keeps the shared-memory bundle backing the arrays alive (set by
+        #: :meth:`from_shared`; ``None`` for ordinary in-process snapshots).
+        self._retained = None
 
     # ------------------------------------------------------------------
     # construction
@@ -253,6 +259,54 @@ class CSRGraph:
             labels=labels,
             ids=ids,
         )
+
+    #: Array attributes exported to / imported from shared memory, in order.
+    _SHARED_ARRAYS = ("indptr", "indices", "slot_edge", "edge_u", "edge_v")
+
+    def to_shared(self, prefix: str, extra_arrays: dict | None = None):
+        """Publish the snapshot's arrays into a shared-memory bundle.
+
+        Returns the owning :class:`~repro.graph.shm.SharedArrayBundle`; its
+        picklable ``meta`` descriptor is what travels to worker processes,
+        which rebuild the snapshot zero-copy via :meth:`from_shared`.
+        ``extra_arrays`` rides along in the same bundle (per-edge trussness,
+        supports, incidence arrays — anything keyed off this snapshot's
+        edge ids); names must not collide with the CSR's own
+        (:data:`_SHARED_ARRAYS`).  The caller owns the bundle's lifecycle:
+        keep it alive while attachers exist, then :meth:`~SharedArrayBundle.unlink`.
+        """
+        from repro.graph.shm import SharedArrayBundle
+
+        arrays = {name: getattr(self, name) for name in self._SHARED_ARRAYS}
+        if extra_arrays:
+            collisions = set(arrays) & set(extra_arrays)
+            if collisions:
+                raise ValueError(f"extra_arrays shadow CSR arrays: {sorted(collisions)}")
+            arrays.update(extra_arrays)
+        return SharedArrayBundle.create(prefix, arrays, objects={"labels": self._labels})
+
+    @classmethod
+    def from_shared(cls, bundle) -> "CSRGraph":
+        """Rebuild a snapshot from an attached shared-memory bundle.
+
+        ``bundle`` is a :class:`~repro.graph.shm.SharedArrayBundle` (either
+        the owner's or an attached one) produced by :meth:`to_shared`.  The
+        returned snapshot's arrays are views straight into the shared pages
+        (zero-copy; read-only on the attaching side) and the snapshot holds
+        a reference to the bundle so the mapping outlives the caller's.
+        """
+        labels = bundle.objects["labels"]
+        csr = cls(
+            indptr=bundle["indptr"],
+            indices=bundle["indices"],
+            slot_edge=bundle["slot_edge"],
+            edge_u=bundle["edge_u"],
+            edge_v=bundle["edge_v"],
+            labels=labels,
+            ids={label: position for position, label in enumerate(labels)},
+        )
+        csr._retained = bundle
+        return csr
 
     def to_graph(self) -> UndirectedGraph:
         """Thaw the snapshot back into a mutable :class:`UndirectedGraph`."""

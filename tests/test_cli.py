@@ -191,6 +191,78 @@ class TestSearchCommand:
         assert "delta applies" in captured
         assert "throughput:" in captured
 
+    def test_workers_requires_engine(self, figure1_file):
+        with pytest.raises(SystemExit, match="--workers requires --engine"):
+            main(["search", figure1_file, "--query", "q1", "--workers", "2"])
+
+    def test_serving_mode_requires_workers(self, figure1_file):
+        with pytest.raises(SystemExit, match="--serving-mode requires --workers"):
+            main(
+                ["search", figure1_file, "--query", "q1",
+                 "--engine", "--serving-mode", "thread"]
+            )
+
+    def test_workers_rejects_window(self, figure1_file):
+        with pytest.raises(SystemExit, match="--workers does not combine"):
+            main(
+                ["search", figure1_file, "--query", "q1",
+                 "--engine", "--workers", "2", "--window", "10"]
+            )
+
+    def test_process_mode_rejects_at_version(self, figure1_file):
+        with pytest.raises(SystemExit, match="--serving-mode thread"):
+            main(
+                ["search", figure1_file, "--query", "q1", "--engine",
+                 "--workers", "2", "--serving-mode", "process", "--at-version", "0"]
+            )
+
+    def test_serving_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["search", "g.txt", "--query", "a", "--engine"])
+        assert args.workers == 0
+        assert args.serving_mode is None
+
+    def test_thread_serving_reports_coalescing(self, figure1_file, capsys):
+        exit_code = main(
+            [
+                "search", figure1_file, "--query", "q1", "q2",
+                "--method", "lctc", "--eta", "50",
+                "--engine", "--repeat", "6", "--workers", "2",
+                "--mutate-every", "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "serving:       mode=thread, workers=2" in captured
+        assert "coalescing:" in captured
+        assert "pins:" in captured
+        assert "leases" in captured
+
+    def test_thread_serving_same_community_as_plain_engine(self, figure1_file, capsys):
+        base_args = ["search", figure1_file, "--query", "q1", "q2", "q3",
+                     "--method", "lctc", "--eta", "50", "--engine"]
+        main(base_args)
+        plain_out = capsys.readouterr().out
+        main(base_args + ["--workers", "2", "--repeat", "4"])
+        serving_out = capsys.readouterr().out
+        assert plain_out.split("members:")[1].split("kernel:")[0] == (
+            serving_out.split("members:")[1].split("throughput:")[0]
+        )
+
+    def test_process_serving_reports_shard_stats(self, figure1_file, capsys):
+        exit_code = main(
+            [
+                "search", figure1_file, "--query", "q1", "q2",
+                "--method", "lctc", "--eta", "50",
+                "--engine", "--repeat", "4", "--workers", "2",
+                "--serving-mode", "process",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "serving:       mode=process, workers=2" in captured
+        assert "coalescing:" in captured
+        assert "trussness:     4" in captured
+
 
 class TestExperimentCommand:
     def test_table2_runs(self, capsys):
