@@ -1,0 +1,268 @@
+"""Fault-recovery benchmark: throughput retained under a scripted kill schedule.
+
+This is the acceptance gate for the serving layer's supervision machinery.
+The workload is the same shape as ``bench_concurrent_serving.py`` — batch
+windows of CTC queries interleaved with edge churn over a union of
+disjoint relabeled dblp-like networks, served by process-mode
+:class:`~repro.engine.ServingEngine` — but the measured run carries a
+:class:`~repro.engine.FaultPlan` that SIGKILLs **every shard worker once**
+mid-stream (:meth:`FaultPlan.kill_each_worker_once`).  Each kill forces
+the full recovery path: crash detection at the broken pipe, worker respawn
+from the parent-owned shared-memory baseline plus oplog replay of the
+churn applied since spawn, and requeue of the in-flight batch positions.
+
+* ``test_fault_recovery_results_identical`` (runs in CI) proves recovery is
+  *correct*: the faulted stream returns communities bit-identical to the
+  clean stream, every scripted kill fired, and the crash/respawn/requeue
+  counters account for them.
+* ``test_faults_json_artifact`` (runs in CI) measures clean vs faulted
+  throughput over ``ROUNDS`` rounds and writes ``BENCH_faults.json``.
+* ``test_fault_recovery_speedup_retained`` (wall-clock gate, deselected in
+  CI via ``-k "not speedup"``) gates the median retained-throughput
+  fraction at >= ``TARGET_RETAINED`` and the worst per-batch recovery
+  stall at <= ``RECOVERY_LATENCY_BOUND`` seconds.
+
+Override the scale with the ``BENCH_FAULTS_WORKERS`` /
+``BENCH_FAULTS_BATCHES`` / ``BENCH_FAULTS_ROUNDS`` env vars for smoke
+runs (CI uses 2 workers x 1 round).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fault_recovery.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+import pytest
+from _artifact import write_artifact
+
+from repro.datasets.queries import EdgeChurn, QueryWorkloadGenerator
+from repro.datasets.registry import load_dataset
+from repro.engine import FaultPlan, ServingEngine
+from repro.graph.simple_graph import UndirectedGraph
+
+#: Disjoint relabeled dblp-like copies forming the served union graph.
+#: Kept equal to the default shard count so every batch window touches
+#: every shard — which guarantees each shard reaches the dispatch number
+#: its scripted kill is addressed to.
+REPLICAS = 4
+
+#: Queries per batch window (one serving query_batch call).
+BATCH = 8
+
+#: Mutations arriving inside each batch window (these populate the oplogs
+#: that a respawned worker must replay to answer correctly).
+MUTATIONS = 4
+
+#: Shard worker processes (env-overridable; CI smoke uses 2).
+WORKERS = int(os.environ.get("BENCH_FAULTS_WORKERS", "4"))
+
+#: Batch windows per measured run (env-overridable for CI smoke).  Long
+#: enough that the per-kill recovery cost is amortized the way a serving
+#: stream would amortize it — retention over a 2-batch run would measure
+#: respawn latency, not sustained throughput.
+BATCHES = int(os.environ.get("BENCH_FAULTS_BATCHES", "16"))
+
+#: Measured rounds; gates and the artifact use the median (CI uses 1).
+ROUNDS = int(os.environ.get("BENCH_FAULTS_ROUNDS", "3"))
+
+#: Acceptance gate: faulted throughput / clean throughput, median of rounds.
+TARGET_RETAINED = 0.70
+
+#: Acceptance gate: worst faulted batch may stall at most this much longer
+#: than the worst clean batch (the crash-detect + respawn + requeue cost).
+RECOVERY_LATENCY_BOUND = 5.0
+
+METHOD = "lctc"
+ETA = 50
+
+
+@pytest.fixture(scope="module")
+def union_graph():
+    base = load_dataset("dblp-like").graph
+    union = UndirectedGraph()
+    for replica in range(REPLICAS):
+        for u, v in base.edges():
+            union.add_edge((replica, u), (replica, v))
+    return union
+
+
+@pytest.fixture(scope="module")
+def queries(union_graph):
+    """Two 2-node queries per replica, relabeled into the union."""
+    base = load_dataset("dblp-like").graph
+    generator = QueryWorkloadGenerator(base, seed=7)
+    per_replica = generator.random_queries(2, 2)
+    pool = []
+    for replica in range(REPLICAS):
+        for query in per_replica:
+            pool.append([(replica, node) for node in query])
+    return pool
+
+
+def _batch_windows(queries):
+    for index in range(BATCHES):
+        start = (index * BATCH) % len(queries)
+        yield [queries[(start + offset) % len(queries)] for offset in range(BATCH)]
+
+
+def _run_stream(serving, queries):
+    """Serve the churn+query stream; returns (count, fingerprints, batch_times)."""
+    protected = {node for query in queries for node in query}
+    churn = EdgeChurn(serving, seed=11, protect=protected)
+    assert churn.mutable_edges > 0
+    fingerprints = []
+    batch_times = []
+    count = 0
+    for window in _batch_windows(queries):
+        for _ in range(MUTATIONS):
+            assert churn.step()
+        started = time.perf_counter()
+        results = serving.query_batch(window, method=METHOD, eta=ETA)
+        batch_times.append(time.perf_counter() - started)
+        for result in results:
+            fingerprints.append((frozenset(result.nodes), result.trussness))
+            count += 1
+    return count, fingerprints, batch_times
+
+
+def _kill_plan(shard_count: int) -> FaultPlan:
+    """One SIGKILL per shard, staggered one batch apart (batch 0 clean)."""
+    return FaultPlan.kill_each_worker_once(shard_count, first_batch=1)
+
+
+def _measure(union_graph, queries, *, faulted: bool):
+    """One measured run; returns (qps, fingerprints, batch_times, serving-stats)."""
+    # Shards are capped by the union's component count (= REPLICAS).
+    plan = _kill_plan(min(WORKERS, REPLICAS)) if faulted else None
+    with ServingEngine(
+        union_graph, workers=WORKERS, mode="process", fault_plan=plan
+    ) as serving:
+        assert serving.shard_count == min(WORKERS, REPLICAS)
+        serving.query(queries[0], method=METHOD, eta=ETA)  # warm-up
+        started = time.perf_counter()
+        count, fingerprints, batch_times = _run_stream(serving, queries)
+        elapsed = time.perf_counter() - started
+        stats = serving.stats.as_dict()
+        if plan is not None:
+            assert plan.pending_faults() == 0, f"unfired faults: {plan!r}"
+            stats["fault_events"] = [
+                {"kind": e.kind, "shard": e.shard, "batch": e.batch}
+                for e in plan.events
+            ]
+    return count / elapsed, fingerprints, batch_times, stats
+
+
+# ----------------------------------------------------------------------
+# correctness smoke (runs in CI)
+# ----------------------------------------------------------------------
+def test_fault_recovery_results_identical(union_graph, queries):
+    """Killing every worker once must not change a single community."""
+    _, clean, _, _ = _measure(union_graph, queries, faulted=False)
+    _, faulted, _, stats = _measure(union_graph, queries, faulted=True)
+    assert faulted == clean, "recovered stream diverged from the clean stream"
+    shard_count = min(WORKERS, REPLICAS)
+    assert stats["worker_crashes"] == shard_count
+    assert stats["respawns"] == shard_count
+    assert stats["requeued_queries"] > 0
+    assert stats["quarantined_shards"] == 0
+    assert len(stats["fault_events"]) == shard_count
+
+
+def test_faults_json_artifact(union_graph, queries):
+    """Measure clean vs faulted rounds and write the JSON trajectory."""
+    rows = []
+    for round_index in range(ROUNDS):
+        clean_qps, _, clean_times, _ = _measure(union_graph, queries, faulted=False)
+        faulted_qps, _, faulted_times, stats = _measure(
+            union_graph, queries, faulted=True
+        )
+        rows.append(
+            {
+                "round": round_index,
+                "clean_queries_per_sec": round(clean_qps, 2),
+                "faulted_queries_per_sec": round(faulted_qps, 2),
+                "throughput_retained": round(faulted_qps / clean_qps, 3),
+                "recovery_latency_s": round(
+                    max(faulted_times) - max(clean_times), 4
+                ),
+                "worker_crashes": stats["worker_crashes"],
+                "respawns": stats["respawns"],
+                "requeued_queries": stats["requeued_queries"],
+                "fault_events": stats["fault_events"],
+            }
+        )
+    path = write_artifact(
+        "bench_fault_recovery",
+        {
+            "dataset": f"{REPLICAS}x dblp-like (disjoint relabeled replicas)",
+            "workers": WORKERS,
+            "batch": BATCH,
+            "mutations_per_batch": MUTATIONS,
+            "batches": BATCHES,
+            "rounds": ROUNDS,
+            "schedule": "kill_each_worker_once(first_batch=1)",
+            "gate": {
+                "throughput_retained": TARGET_RETAINED,
+                "recovery_latency_s": RECOVERY_LATENCY_BOUND,
+            },
+            "median_throughput_retained": round(
+                statistics.median(row["throughput_retained"] for row in rows), 3
+            ),
+            "rows": rows,
+        },
+        env_var="BENCH_FAULTS_JSON",
+        default_path="BENCH_faults.json",
+    )
+    report = [f"fault recovery trajectory -> {path}"]
+    for row in rows:
+        report.append(
+            f"round {row['round']}: clean {row['clean_queries_per_sec']:8.1f} q/s, "
+            f"faulted {row['faulted_queries_per_sec']:8.1f} q/s "
+            f"({row['throughput_retained']:.1%} retained, "
+            f"recovery {row['recovery_latency_s']:+.3f}s)"
+        )
+    print("\n" + "\n".join(report))
+    assert all(row["faulted_queries_per_sec"] > 0 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# wall-clock gate (median-of-rounds; deselected in CI via -k "not speedup")
+# ----------------------------------------------------------------------
+def test_fault_recovery_speedup_retained(union_graph, queries):
+    """Gate: >= 70% throughput retained and bounded recovery stall."""
+    retained = []
+    stalls = []
+    report = [""]
+    for round_index in range(ROUNDS):
+        clean_qps, _, clean_times, _ = _measure(union_graph, queries, faulted=False)
+        faulted_qps, _, faulted_times, _ = _measure(
+            union_graph, queries, faulted=True
+        )
+        retained.append(faulted_qps / clean_qps)
+        stalls.append(max(faulted_times) - max(clean_times))
+        report.append(
+            f"round {round_index}: clean {clean_qps:8.1f} q/s, "
+            f"faulted {faulted_qps:8.1f} q/s ({retained[-1]:.1%} retained, "
+            f"stall {stalls[-1]:+.3f}s)"
+        )
+    median_retained = statistics.median(retained)
+    median_stall = statistics.median(stalls)
+    report.append(
+        f"median: {median_retained:.1%} retained (target {TARGET_RETAINED:.0%}), "
+        f"stall {median_stall:+.3f}s (bound {RECOVERY_LATENCY_BOUND}s)"
+    )
+    print("\n".join(report))
+    assert median_retained >= TARGET_RETAINED, (
+        f"one kill per worker retained only {median_retained:.1%} of clean "
+        f"throughput (target {TARGET_RETAINED:.0%}); rounds: "
+        + ", ".join(f"{r:.1%}" for r in retained)
+    )
+    assert median_stall <= RECOVERY_LATENCY_BOUND, (
+        f"recovery stalled the worst batch by {median_stall:.3f}s "
+        f"(bound {RECOVERY_LATENCY_BOUND}s)"
+    )

@@ -43,6 +43,11 @@ bit-identical either way).  ``--workers N`` serves the ``--repeat`` loop
 through the concurrent :class:`~repro.engine.ServingEngine` front-end in
 batches (one pinned snapshot per batch); ``--serving-mode`` picks the
 thread-pool (default) or the shard-per-process back end.
+``--query-timeout S`` puts a per-query deadline on every served query:
+an overdue query fails with a typed timeout instead of stalling its
+batch (the serving layer's fault-tolerance machinery — crashed shard
+workers are likewise respawned transparently, with the recovery counters
+reported in the stats footer).
 """
 
 from __future__ import annotations
@@ -62,7 +67,7 @@ from repro.engine import (
     ServingEngine,
     SlidingWindowEngine,
 )
-from repro.exceptions import VersionEvictedError
+from repro.exceptions import QueryTimeoutError, VersionEvictedError
 from repro.experiments import figures, tables
 from repro.experiments.config import QUICK_CONFIG
 from repro.experiments.reporting import format_table
@@ -198,6 +203,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     search_parser.add_argument(
+        "--query-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-query deadline in seconds for the serving layer: an overdue "
+            "query fails with a typed timeout instead of stalling its batch "
+            "(requires --workers)"
+        ),
+    )
+    search_parser.add_argument(
         "--window",
         type=int,
         default=0,
@@ -248,6 +264,10 @@ def _run_search(args: argparse.Namespace) -> int:
         raise SystemExit("--workers requires --engine (the serving layer fronts the engine)")
     if args.serving_mode and not args.workers:
         raise SystemExit("--serving-mode requires --workers")
+    if args.query_timeout is not None and not args.workers:
+        raise SystemExit("--query-timeout requires --workers (deadlines live in the serving layer)")
+    if args.query_timeout is not None and args.query_timeout <= 0:
+        raise SystemExit("--query-timeout must be > 0")
     if args.workers and args.window:
         raise SystemExit(
             "--workers does not combine with --window (window expiry bookkeeping "
@@ -308,6 +328,7 @@ def _run_search(args: argparse.Namespace) -> int:
                     args.method,
                     kernel=kernel,
                     at_version=args.at_version,
+                    timeout=args.query_timeout,
                     eta=args.eta,
                     gamma=args.gamma,
                 )
@@ -326,6 +347,10 @@ def _run_search(args: argparse.Namespace) -> int:
                     kernel=kernel,
                     at_version=args.at_version,
                 )
+    except QueryTimeoutError as error:
+        if serving is not None:
+            serving.close()
+        raise SystemExit(f"--query-timeout: {error}") from None
     except VersionEvictedError as error:
         if serving is not None:
             serving.close()
@@ -381,6 +406,12 @@ def _run_search(args: argparse.Namespace) -> int:
                 f"coalescing:    {sstats.coalesced_queries}/{sstats.queries} queries "
                 f"coalesced, {sstats.snapshot_reuses} snapshot reuses, "
                 f"{sstats.cross_shard_rejects} cross-shard rejects"
+            )
+            print(
+                f"faults:        {sstats.worker_crashes} crashes, "
+                f"{sstats.respawns} respawns, {sstats.requeued_queries} requeued, "
+                f"{sstats.timeouts} timeouts, "
+                f"{sstats.quarantined_shards} quarantined shards"
             )
         if args.at_version is not None or stats.time_travel_reads:
             retained = target.retained_versions()

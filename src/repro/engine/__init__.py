@@ -18,6 +18,7 @@ from repro.engine.core import (
     EngineStats,
     SnapshotLease,
 )
+from repro.engine.faults import FaultEvent, FaultPlan
 from repro.engine.serving import ServingEngine, ServingStats
 from repro.engine.window import SlidingWindowEngine
 
@@ -25,6 +26,8 @@ __all__ = [
     "CTCEngine",
     "EngineSnapshot",
     "EngineStats",
+    "FaultEvent",
+    "FaultPlan",
     "ServingEngine",
     "ServingStats",
     "SlidingWindowEngine",

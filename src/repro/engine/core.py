@@ -113,7 +113,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.ctc.result import CommunityResult
-from repro.exceptions import StaleMaintainerError, VersionEvictedError
+from repro.exceptions import (
+    QueryTimeoutError,
+    StaleMaintainerError,
+    VersionEvictedError,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.csr_triangles import TriangleIncidence, patch_incidence
 from repro.graph.delta import GraphDelta
@@ -701,7 +705,9 @@ class CTCEngine:
                 return next(iter(self._delta_log)) - 1, self._version
             return self._version, self._version
 
-    def snapshot_at(self, version: int | None = None) -> EngineSnapshot:
+    def snapshot_at(
+        self, version: int | None = None, *, timeout: float | None = None
+    ) -> EngineSnapshot:
         """Return the snapshot pinned at ``version`` (a time-travel read).
 
         ``None`` reads the current version.  A historical version is
@@ -717,6 +723,14 @@ class CTCEngine:
         the first caller builds, the rest wait on its completion event and
         re-read the cache — and a cache hit never takes more than the mutex.
 
+        ``timeout`` bounds the *coalesced wait*: a caller that would block
+        on another thread's in-flight build gives up after ``timeout``
+        seconds with :class:`~repro.exceptions.QueryTimeoutError` instead of
+        stalling past its deadline (the serving layer's deadline
+        propagation).  A caller that builds the snapshot itself is not
+        interrupted — builds are not cancellable — so the bound applies to
+        waiting, not to building.
+
         Raises
         ------
         VersionEvictedError
@@ -724,7 +738,10 @@ class CTCEngine:
             :meth:`retained_versions`) and no lease keeps it cached.
         ValueError
             If ``version`` is negative or has not been produced yet.
+        QueryTimeoutError
+            If ``timeout`` expired while waiting on another thread's build.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             with self._mutex:
                 target = self._version if version is None else version
@@ -769,7 +786,14 @@ class CTCEngine:
                 # Another thread is already building this version: wait for
                 # it to publish, then re-read the cache.  (The mutex is not
                 # held here, so the builder can finish.)
-                event.wait()
+                if deadline is None:
+                    event.wait()
+                elif not event.wait(max(0.0, deadline - time.monotonic())):
+                    raise QueryTimeoutError(
+                        f"snapshot build for version {target} did not complete "
+                        f"within the {timeout}s deadline",
+                        timeout=timeout,
+                    )
                 continue
             try:
                 started = time.perf_counter()
@@ -797,16 +821,19 @@ class CTCEngine:
     # ------------------------------------------------------------------
     # epoch-pinned leases
     # ------------------------------------------------------------------
-    def lease(self, version: int | None = None) -> SnapshotLease:
+    def lease(
+        self, version: int | None = None, *, timeout: float | None = None
+    ) -> SnapshotLease:
         """Pin the snapshot at ``version`` (default: current) and return a lease.
 
         While the lease is held the LRU defers reclaiming the version, so
         the holder can keep resolving it via :meth:`snapshot_at` (or query
         the pinned :attr:`SnapshotLease.snapshot` directly) no matter how
         far the writer advances.  Release promptly — every deferred version
-        is cache memory the sweep cannot reclaim.
+        is cache memory the sweep cannot reclaim.  ``timeout`` bounds the
+        snapshot resolution exactly as in :meth:`snapshot_at`.
         """
-        snapshot = self.snapshot_at(version)
+        snapshot = self.snapshot_at(version, timeout=timeout)
         with self._mutex:
             # The snapshot may have been evicted between the resolve and the
             # pin (another thread's build overflowed the LRU): re-adopt it.

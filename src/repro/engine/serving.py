@@ -30,6 +30,45 @@ adds the serving layer the ROADMAP's "millions of users" track calls for:
   :meth:`query_batch` calls, so independent coroutines coalesce onto one
   pinned snapshot without coordinating with each other.
 
+Fault tolerance (process mode)
+------------------------------
+Worker failure is treated as routine, not fatal.  The front-end never
+issues a blocking ``recv``: every reply wait is a poll loop that watches
+the worker's liveness, so a crashed worker (``EOFError`` /
+``BrokenPipeError`` / a dead ``Process.is_alive()``) is *detected* rather
+than hung on.  Recovery is a supervision state machine per shard:
+
+1. **Respawn** — the parent still owns the shard's
+   :class:`~repro.graph.shm.SharedArrayBundle` (the frozen baseline
+   snapshot), and it journals every mutation routed to the shard since
+   that baseline in an oplog.  A replacement worker re-attaches the same
+   buffers and replays the oplog, deterministically reconstructing the
+   crashed worker's store — regardless of which pipe messages the dead
+   worker had or had not consumed.  The replacement confirms with a
+   ``("ready", version)`` handshake before serving.
+2. **Requeue** — the in-flight batch positions of the crashed worker are
+   re-dispatched to the replacement, with exponential backoff between
+   attempts (``respawn_backoff * 2**n``).
+3. **Quarantine** — after ``max_respawns`` failed recoveries the shard is
+   quarantined: its queries and mutations fail fast with
+   :class:`~repro.exceptions.ShardUnavailableError` while the remaining
+   shards keep serving.  Graceful degradation, not a poisoned engine.
+
+**Deadlines**: ``query_batch(..., timeout=)`` takes a scalar or a
+per-query sequence of second budgets.  Thread mode bounds each future's
+``result()`` wait (and forwards the budget to the cooperative
+``time_budget_seconds`` machinery of the global methods); process mode
+bounds the reply poll.  An overdue query's slot becomes a
+:class:`~repro.exceptions.QueryTimeoutError` — the batch never stalls on
+one slow query, and an abandoned reply is discarded when it eventually
+arrives.  :meth:`aquery` carries the timeout into its coalesced groups.
+
+**Fault injection**: a seeded :class:`~repro.engine.faults.FaultPlan`
+passed as ``fault_plan=`` scripts kills, delayed replies, poisoned
+queries, and shm attach failures at exact ``(shard, batch)`` dispatch
+points, so every recovery path above is exercised deterministically by
+the test suite and ``benchmarks/bench_fault_recovery.py``.
+
 Shard semantics (process mode)
 ------------------------------
 Truss communities never span connected components, so any query whose
@@ -45,8 +84,11 @@ model-level truth (no connected community exists).  Mutations that would
 
 Shared-memory ownership: the parent creates each shard's buffers, keeps
 them alive for the worker's lifetime, and unlinks them in :meth:`close`
-(also run by ``__exit__`` and at interpreter exit via ``atexit``);
-workers merely attach and drop their mapping on shutdown.
+(also run by ``__exit__`` and at interpreter exit via ``atexit``).  A
+parent killed by ``SIGTERM``/``SIGINT`` still unlinks: the module
+installs signal handlers (preserving and re-raising into any prior
+handler) that emergency-unlink every live engine's segments.  Workers
+merely attach and drop their mapping on shutdown.
 """
 
 from __future__ import annotations
@@ -54,12 +96,17 @@ from __future__ import annotations
 import atexit
 import asyncio
 import itertools
+import os
 import pickle
+import signal
 import threading
+import time
+import weakref
 import zlib
 from collections import defaultdict
 from collections.abc import Hashable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from functools import partial
 
@@ -75,6 +122,8 @@ from repro.exceptions import (
     EdgeNotFoundError,
     NoCommunityFoundError,
     QueryError,
+    QueryTimeoutError,
+    ShardUnavailableError,
 )
 from repro.graph.components import balanced_shards
 from repro.graph.csr import CSRGraph
@@ -87,6 +136,81 @@ __all__ = ["ServingEngine", "ServingStats"]
 
 #: Worker shutdown grace period before the parent terminates the process.
 _JOIN_TIMEOUT_SECONDS = 5.0
+#: Reply-wait poll granularity: crash detection latency is bounded by this.
+_POLL_INTERVAL_SECONDS = 0.05
+#: How long a (re)spawned worker gets to attach + replay + report ready.
+_READY_TIMEOUT_SECONDS = 30.0
+#: Bound on the internal stats round-trip (not a user-visible deadline).
+_STATS_TIMEOUT_SECONDS = 10.0
+#: Methods whose kernels honor a cooperative wall-clock budget.
+_BUDGETED_METHODS = frozenset({"basic", "bulk-delete"})
+
+
+class _WorkerCrashed(Exception):
+    """Internal: the shard worker died (pipe broke or process exited)."""
+
+
+class _DeadlineExpired(Exception):
+    """Internal: the reply wait ran past the batch deadline."""
+
+
+# ----------------------------------------------------------------------
+# SIGTERM/SIGINT shared-memory cleanup
+#
+# ``bundle.unlink()`` normally runs via close()/atexit, but a parent killed
+# by a signal skips atexit and would leak every shard's /dev/shm segments.
+# The first process-mode engine installs handlers (main thread only —
+# ``signal.signal`` raises elsewhere); the handler emergency-unlinks every
+# live engine's bundles, restores the prior handler, and re-raises so the
+# prior disposition (usually: die) still happens.
+# ----------------------------------------------------------------------
+_signal_lock = threading.Lock()
+_signal_engines: "weakref.WeakSet[ServingEngine]" = weakref.WeakSet()
+_prior_handlers: dict[int, object] = {}
+
+
+def _signal_cleanup(signum, frame) -> None:  # pragma: no cover - exercised in a subprocess
+    for engine in list(_signal_engines):
+        try:
+            engine._emergency_unlink()
+        except Exception:
+            pass
+    prior = _prior_handlers.get(signum)
+    if prior is None:
+        prior = signal.SIG_DFL
+    try:
+        signal.signal(signum, prior)
+    except (ValueError, OSError, TypeError):
+        signal.signal(signum, signal.SIG_DFL)
+    signal.raise_signal(signum)
+
+
+def _register_signal_cleanup(engine: "ServingEngine") -> None:
+    with _signal_lock:
+        _signal_engines.add(engine)
+        if _prior_handlers:
+            return
+        if threading.current_thread() is not threading.main_thread():
+            return  # signal.signal only works from the main thread
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                _prior_handlers[signum] = signal.signal(signum, _signal_cleanup)
+        except (ValueError, OSError):  # pragma: no cover - restricted host
+            _prior_handlers.clear()
+
+
+def _unregister_signal_cleanup(engine: "ServingEngine") -> None:
+    with _signal_lock:
+        _signal_engines.discard(engine)
+        if _signal_engines or not _prior_handlers:
+            return
+        for signum, prior in list(_prior_handlers.items()):
+            if signal.getsignal(signum) is _signal_cleanup:
+                try:
+                    signal.signal(signum, prior)  # type: ignore[arg-type]
+                except (ValueError, OSError, TypeError):  # pragma: no cover
+                    pass
+        _prior_handlers.clear()
 
 
 @dataclass
@@ -101,6 +225,14 @@ class ServingStats:
     engine/shard — i.e. the store had not moved, so even the delta apply
     was skipped.  ``cross_shard_rejects`` counts queries refused because
     their nodes span shards (process mode only).
+
+    The fault-tolerance counters: ``worker_crashes`` is shard worker deaths
+    detected (however discovered), ``respawns`` is successful replacements,
+    ``requeued_queries`` counts query positions re-dispatched after a
+    crash, ``timeouts`` counts queries whose slot became a
+    :class:`~repro.exceptions.QueryTimeoutError`, and
+    ``quarantined_shards`` is the *current* number of shards failed out of
+    service (a level, not a cumulative count).
     """
 
     mode: str = "thread"
@@ -111,6 +243,11 @@ class ServingStats:
     leases: int = 0
     snapshot_reuses: int = 0
     cross_shard_rejects: int = 0
+    worker_crashes: int = 0
+    respawns: int = 0
+    requeued_queries: int = 0
+    timeouts: int = 0
+    quarantined_shards: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Return the counters as a plain dict (for CLI/benchmark reporting)."""
@@ -123,6 +260,11 @@ class ServingStats:
             "leases": self.leases,
             "snapshot_reuses": self.snapshot_reuses,
             "cross_shard_rejects": self.cross_shard_rejects,
+            "worker_crashes": self.worker_crashes,
+            "respawns": self.respawns,
+            "requeued_queries": self.requeued_queries,
+            "timeouts": self.timeouts,
+            "quarantined_shards": self.quarantined_shards,
         }
 
 
@@ -141,24 +283,93 @@ def _picklable_exception(exc: Exception) -> Exception:
         return QueryError(f"{type(exc).__name__}: {exc}")
 
 
-def _shard_worker(conn, meta, engine_kwargs: dict, untrack: bool) -> None:
+def _kwargs_group_key(kwargs: dict) -> str:
+    """Canonical coalescing key for an ``aquery`` kwargs dict.
+
+    ``repr``-based so unhashable or mutually-unorderable values (lists,
+    dicts, mixed types) still group; equal-``repr``-but-unequal kwargs are
+    split again by the drainer's equality sub-bucketing.
+    """
+    return repr(sorted(kwargs.items(), key=lambda item: item[0]))
+
+
+def _resolve_deadlines(
+    timeout, count: int
+) -> tuple[list[float | None], list[float | None]]:
+    """Expand a ``timeout=`` argument into per-query deadlines and budgets.
+
+    ``timeout`` may be ``None`` (no deadline), a positive number applied to
+    every query, or a sequence of per-query values (``None`` entries allowed).
+    Returns ``(deadlines, budgets)``: absolute ``time.monotonic()`` deadlines
+    and the raw second budgets (for cooperative kernel budgets and error
+    attribution).
+    """
+    if timeout is None:
+        return [None] * count, [None] * count
+    now = time.monotonic()
+    if isinstance(timeout, (int, float)):
+        budget = float(timeout)
+        if budget <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        return [now + budget] * count, [budget] * count
+    budgets_in = list(timeout)
+    if len(budgets_in) != count:
+        raise ValueError(
+            f"per-query timeout sequence has {len(budgets_in)} entries "
+            f"for {count} queries"
+        )
+    deadlines: list[float | None] = []
+    budgets: list[float | None] = []
+    for value in budgets_in:
+        if value is None:
+            deadlines.append(None)
+            budgets.append(None)
+            continue
+        budget = float(value)
+        if budget <= 0:
+            raise ValueError(f"timeout must be > 0, got {value}")
+        deadlines.append(now + budget)
+        budgets.append(budget)
+    return deadlines, budgets
+
+
+def _shard_worker(
+    conn,
+    meta,
+    engine_kwargs: dict,
+    untrack: bool,
+    replay_ops: Sequence[tuple] = (),
+    fail_attach: bool = False,
+) -> None:
     """Serve one shard from shared-memory snapshot buffers (worker main).
 
     Attaches the parent's bundle zero-copy, seeds a shard-local
-    :class:`CTCEngine` from the already-decomposed arrays, then answers
-    ordered messages on ``conn``:
+    :class:`CTCEngine` from the already-decomposed arrays, replays
+    ``replay_ops`` (the parent's oplog — mutations routed to this shard
+    since the bundle was frozen, so a respawned worker reconstructs the
+    crashed worker's store), confirms with ``("ready", version)``, then
+    answers ordered messages on ``conn``:
 
     * ``("mutate", op_name, args)`` — apply a store mutation; no reply
       (fire-and-forget keeps the parent's writer non-blocking).
-    * ``("query_batch", rid, queries, method, kernel, kwargs)`` — answer
-      every query against one snapshot; replies
+    * ``("query_batch", rid, queries, method, kernel, kwargs, directives)``
+      — answer every query against one snapshot; replies
       ``("result", rid, [("ok", result) | ("err", exc), ...], version)``.
+      ``directives`` carries fault-injection orders: ``poison`` exits the
+      process mid-batch without replying, ``delay`` stalls the reply.
     * ``("stats", rid)`` — replies with the shard engine's counter dict.
     * ``("stop",)`` — exit.
+
+    ``fail_attach=True`` (fault injection) aborts before the shm attach,
+    simulating a worker that cannot map its snapshot buffers.
     """
     import gc
 
     from repro.ctc.api import search
+
+    if fail_attach:
+        conn.close()
+        os._exit(3)
 
     # Fork-server hygiene: move the inherited parent heap into the permanent
     # generation so worker GC cycles never traverse (and copy-on-write
@@ -186,6 +397,15 @@ def _shard_worker(conn, meta, engine_kwargs: dict, untrack: bool) -> None:
             incidence=incidence,
             **engine_kwargs,
         )
+        for op_name, args in replay_ops:
+            try:
+                getattr(engine, op_name)(*args)
+            except Exception:
+                # The parent validated each op against its mirror when it
+                # was first routed; replay failures mean the op cancelled
+                # against a neighbor in the log and are safe to drop.
+                pass
+        conn.send(("ready", engine.version))
         while True:
             try:
                 message = conn.recv()
@@ -205,7 +425,11 @@ def _shard_worker(conn, meta, engine_kwargs: dict, untrack: bool) -> None:
                     # and is safe to drop.
                     pass
             elif op == "query_batch":
-                _, rid, queries, method, kernel, kwargs = message
+                _, rid, queries, method, kernel, kwargs, directives = message
+                if directives.get("poison"):
+                    # Simulate a query taking its executor down mid-batch:
+                    # no reply, no cleanup — the parent must recover.
+                    os._exit(1)
                 snapshot = engine.snapshot()
                 replies = []
                 for query in queries:
@@ -216,6 +440,9 @@ def _shard_worker(conn, meta, engine_kwargs: dict, untrack: bool) -> None:
                         replies.append(("ok", result))
                     except Exception as exc:
                         replies.append(("err", _picklable_exception(exc)))
+                delay = directives.get("delay")
+                if delay:
+                    time.sleep(delay)
                 conn.send(("result", rid, replies, engine.version))
             elif op == "stats":
                 _, rid = message
@@ -240,6 +467,17 @@ class ServingEngine:
         (process mode; capped by the number of connected components).
     mode:
         ``"thread"`` (default) or ``"process"`` — see the module docstring.
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan` consulted at every
+        dispatch — deterministic fault injection for tests and the
+        fault-recovery benchmark.  ``None`` (the default) injects nothing.
+    max_respawns:
+        Crash-recovery budget per shard per incident: how many failed
+        respawn attempts (or repeated crashes while serving one batch)
+        quarantine the shard.
+    respawn_backoff:
+        Base of the exponential backoff between recovery attempts, in
+        seconds (attempt ``n`` sleeps ``respawn_backoff * 2**(n-1)``).
     **engine_kwargs:
         Forwarded to every internally created :class:`CTCEngine`
         (``cache_size``, ``delta_threshold``, ``delta_log_limit``,
@@ -259,18 +497,31 @@ class ServingEngine:
         *,
         workers: int = 4,
         mode: str = "thread",
+        fault_plan=None,
+        max_respawns: int = 3,
+        respawn_backoff: float = 0.05,
         **engine_kwargs,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if mode not in ("thread", "process"):
             raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if max_respawns < 1:
+            raise ValueError(f"max_respawns must be >= 1, got {max_respawns}")
+        if respawn_backoff < 0:
+            raise ValueError(f"respawn_backoff must be >= 0, got {respawn_backoff}")
         self._mode = mode
         self._workers = workers
         self._engine_kwargs = dict(engine_kwargs)
+        self._fault_plan = fault_plan
+        self._max_respawns = int(max_respawns)
+        self._respawn_backoff = float(respawn_backoff)
         self._closed = False
         self._lock = threading.RLock()
         self._rid = itertools.count()
+        #: Per-shard dispatch sequence numbers — the ``batch`` coordinate a
+        #: FaultPlan addresses (thread mode counts its batches as shard 0).
+        self._dispatch_seq: dict[int, int] = defaultdict(int)
         self.stats = ServingStats(mode=mode, workers=workers)
 
         # Async facade state (lazy; only touched from the event loop thread).
@@ -288,6 +539,7 @@ class ServingEngine:
             self._last_version: int | None = None
         else:
             self._start_process_workers(source)
+            _register_signal_cleanup(self)
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -314,14 +566,23 @@ class ServingEngine:
         self._shard_versions: list[int] = [0] * len(shards)
 
         try:
-            context = multiprocessing.get_context("fork")
+            self._context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
-            context = multiprocessing.get_context("spawn")
+            self._context = multiprocessing.get_context("spawn")
 
+        count = len(shards)
         node_is_sharded = np.zeros(csr.number_of_nodes(), dtype=bool)
         self._bundles: list[SharedArrayBundle] = []
-        self._conns = []
-        self._procs = []
+        self._conns: list = [None] * count
+        self._procs: list = [None] * count
+        #: Mutations routed per shard since its bundle was frozen; a
+        #: respawned worker replays this on top of the bundle baseline.
+        self._oplogs: list[list[tuple]] = [[] for _ in range(count)]
+        self._dead: list[bool] = [False] * count
+        self._quarantined: set[int] = set()
+        #: rids whose replies were abandoned (deadline expiry); discarded
+        #: if the worker eventually answers them.
+        self._abandoned: list[set[int]] = [set() for _ in range(count)]
         try:
             for index, nodes in enumerate(shards):
                 node_ids = np.asarray(
@@ -346,27 +607,337 @@ class ServingEngine:
                     extra["inc_triangles"] = shard_incidence.inc_triangles
                 bundle = sub.csr.to_shared(f"repro_s{index}", extra_arrays=extra)
                 self._bundles.append(bundle)
-
-                parent_conn, child_conn = context.Pipe()
-                # Spawn-started workers run their own resource tracker and
-                # must untrack; fork-started workers share the parent's.
-                process = context.Process(
-                    target=_shard_worker,
-                    args=(
-                        child_conn,
-                        bundle.meta,
-                        self._engine_kwargs,
-                        context.get_start_method() != "fork",
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(process)
+                self._spawn_worker(index)
+            for index in range(count):
+                try:
+                    self._await_ready(index)
+                except _WorkerCrashed:
+                    if self._fault_plan is None:
+                        raise RuntimeError(
+                            f"shard worker {index} failed to start"
+                        ) from None
+                    # A scripted attach failure: leave the shard dead and
+                    # let the first query drive the respawn/quarantine path.
+                    self._mark_dead(index)
         except BaseException:
             self._shutdown_process_workers()
             raise
+
+    def _spawn_worker(self, shard: int) -> None:
+        """Start (or restart) ``shard``'s worker process; no ready-wait."""
+        fail_attach = bool(
+            self._fault_plan is not None
+            and self._fault_plan.take_attach_failure(shard)
+        )
+        parent_conn, child_conn = self._context.Pipe()
+        # Spawn-started workers run their own resource tracker and must
+        # untrack; fork-started workers share the parent's.
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(
+                child_conn,
+                self._bundles[shard].meta,
+                self._engine_kwargs,
+                self._context.get_start_method() != "fork",
+                tuple(self._oplogs[shard]),
+                fail_attach,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._conns[shard] = parent_conn
+        self._procs[shard] = process
+
+    def _await_ready(self, shard: int) -> None:
+        """Block until ``shard``'s worker reports ``("ready", version)``."""
+        conn = self._conns[shard]
+        process = self._procs[shard]
+        deadline = time.monotonic() + _READY_TIMEOUT_SECONDS
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:  # pragma: no cover - pathological host
+                raise _WorkerCrashed(f"shard {shard} ready handshake timed out")
+            try:
+                if conn.poll(min(_POLL_INTERVAL_SECONDS, remaining)):
+                    tag, version = conn.recv()
+                    if tag != "ready":  # pragma: no cover - protocol error
+                        raise _WorkerCrashed(f"shard {shard} sent {tag!r} before ready")
+                    self._shard_versions[shard] = version
+                    return
+            except (EOFError, BrokenPipeError, OSError):
+                raise _WorkerCrashed(f"shard {shard} died during startup") from None
+            if not process.is_alive():
+                try:
+                    if conn.poll(0):
+                        continue  # the ready message raced the exit; read it
+                except (BrokenPipeError, OSError):
+                    pass
+                raise _WorkerCrashed(f"shard {shard} died during startup")
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def _mark_dead(self, shard: int) -> None:
+        """Record a newly-discovered worker death (idempotent per death)."""
+        if not self._dead[shard]:
+            self._dead[shard] = True
+            self.stats.worker_crashes += 1
+
+    def _respawn(self, shard: int) -> bool:
+        """Replace a dead worker: bundle re-attach + oplog replay.
+
+        Returns ``True`` once the replacement's ready handshake lands;
+        exhausting ``max_respawns`` attempts quarantines the shard and
+        returns ``False``.
+        """
+        if shard in self._quarantined:
+            return False
+        old_proc = self._procs[shard]
+        if old_proc is not None and old_proc.is_alive():
+            old_proc.kill()
+            old_proc.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        old_conn = self._conns[shard]
+        if old_conn is not None:
+            try:
+                old_conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        # Replies in flight on the old pipe are gone with it.
+        self._abandoned[shard].clear()
+        for attempt in range(1, self._max_respawns + 1):
+            try:
+                self._spawn_worker(shard)
+                self._await_ready(shard)
+            except _WorkerCrashed:
+                proc = self._procs[shard]
+                if proc is not None and proc.is_alive():  # pragma: no cover
+                    proc.kill()
+                    proc.join(timeout=_JOIN_TIMEOUT_SECONDS)
+                conn = self._conns[shard]
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                if attempt < self._max_respawns:
+                    time.sleep(self._respawn_backoff * 2 ** (attempt - 1))
+                continue
+            self._dead[shard] = False
+            self.stats.respawns += 1
+            return True
+        self._quarantine(shard)
+        return False
+
+    def _quarantine(self, shard: int) -> None:
+        """Fail ``shard`` out of service permanently (idempotent)."""
+        if shard in self._quarantined:
+            return
+        self._quarantined.add(shard)
+        self._dead[shard] = True
+        self.stats.quarantined_shards = len(self._quarantined)
+        proc = self._procs[shard]
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        conn = self._conns[shard]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _ensure_worker(self, shard: int) -> bool:
+        """Make ``shard`` serviceable, respawning if needed.
+
+        Returns ``False`` when the shard is (or just became) quarantined.
+        """
+        if shard in self._quarantined:
+            return False
+        proc = self._procs[shard]
+        if not self._dead[shard] and proc is not None and proc.is_alive():
+            return True
+        self._mark_dead(shard)
+        return self._respawn(shard)
+
+    def _dispatch(
+        self, shard: int, queries: list, method: str, kernel: str, kwargs: dict,
+        shard_budget: float | None,
+    ) -> int:
+        """Send one query batch to ``shard``; returns the reply rid.
+
+        Consumes the fault plan's directives for this dispatch slot (a
+        scripted ``kill`` takes the worker down right here, before the
+        send, so the batch exercises the crash path) and forwards the
+        tightest member budget to the cooperative kernel machinery.
+        """
+        seq = self._dispatch_seq[shard]
+        self._dispatch_seq[shard] = seq + 1
+        directives: dict = {}
+        if self._fault_plan is not None:
+            directives = self._fault_plan.directives_for(shard, seq)
+            if directives.pop("kill", False):
+                proc = self._procs[shard]
+                if proc is not None and proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        send_kwargs = kwargs
+        if (
+            shard_budget is not None
+            and method in _BUDGETED_METHODS
+            and "time_budget_seconds" not in kwargs
+        ):
+            send_kwargs = dict(kwargs, time_budget_seconds=shard_budget)
+        rid = next(self._rid)
+        try:
+            self._conns[shard].send(
+                ("query_batch", rid, queries, method, kernel, send_kwargs, directives)
+            )
+        except (BrokenPipeError, OSError):
+            raise _WorkerCrashed(f"shard {shard} pipe broke on dispatch") from None
+        return rid
+
+    def _collect(self, shard: int, rid: int, deadline: float | None):
+        """Poll for the reply to ``rid``; never blocks past crash or deadline.
+
+        Returns ``(payload, version)``.  Raises :class:`_DeadlineExpired`
+        when ``deadline`` passes first, :class:`_WorkerCrashed` when the
+        pipe breaks or the worker exits without replying.  Replies to
+        abandoned or superseded rids are discarded.
+        """
+        conn = self._conns[shard]
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise _DeadlineExpired
+            wait = (
+                _POLL_INTERVAL_SECONDS
+                if remaining is None
+                else min(_POLL_INTERVAL_SECONDS, remaining)
+            )
+            try:
+                if conn.poll(wait):
+                    _, got_rid, payload, version = conn.recv()
+                    if got_rid == rid:
+                        return payload, version
+                    self._abandoned[shard].discard(got_rid)
+                    continue  # stale/abandoned reply — drop it
+            except (EOFError, BrokenPipeError, OSError):
+                raise _WorkerCrashed(f"shard {shard} pipe broke") from None
+            proc = self._procs[shard]
+            if proc is None or not proc.is_alive():
+                # One last zero-wait poll: the reply may have been written
+                # just before the exit and still sit in the pipe buffer.
+                try:
+                    if conn.poll(0):
+                        continue
+                except (BrokenPipeError, OSError):
+                    pass
+                raise _WorkerCrashed(f"shard {shard} exited without replying")
+
+    def _serve_shard(
+        self,
+        shard: int,
+        positions: list[int],
+        batch: list,
+        method: str,
+        kernel: str,
+        kwargs: dict,
+        deadlines: list,
+        budgets: list,
+        results: list,
+        rid: int | None = None,
+    ) -> None:
+        """Drive ``shard``'s share of a batch to completion, whatever fails.
+
+        The supervision loop: (re)dispatch → collect; a crash requeues the
+        pending positions on a respawned worker with exponential backoff,
+        repeated crashes quarantine the shard, a deadline expiry abandons
+        the reply and fills the slots with ``QueryTimeoutError``.  Every
+        position in ``positions`` ends with a result or a typed error —
+        never a hang.  ``rid`` carries an already-dispatched request id
+        (the batched front-end pre-dispatches to all shards for pipelining).
+        """
+        pending = positions
+        member_deadlines = [deadlines[p] for p in pending]
+        deadline = (
+            max(member_deadlines)
+            if member_deadlines and all(d is not None for d in member_deadlines)
+            else None
+        )
+        member_budgets = [budgets[p] for p in pending if budgets[p] is not None]
+        shard_budget = min(member_budgets) if member_budgets else None
+        crashes = 0
+        while True:
+            if shard in self._quarantined:
+                for position in pending:
+                    results[position] = ShardUnavailableError(
+                        f"shard {shard} is quarantined after repeated worker "
+                        "failures; its queries fail fast while other shards "
+                        "keep serving",
+                        shard=shard,
+                    )
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                self._fill_timeouts(pending, budgets, results)
+                return
+            try:
+                if rid is None:
+                    if not self._ensure_worker(shard):
+                        continue  # quarantined: loop fills the error slots
+                    rid = self._dispatch(
+                        shard,
+                        [batch[p] for p in pending],
+                        method,
+                        kernel,
+                        kwargs,
+                        shard_budget,
+                    )
+                replies, version = self._collect(shard, rid, deadline)
+            except _DeadlineExpired:
+                if rid is not None:
+                    self._abandoned[shard].add(rid)
+                self._fill_timeouts(pending, budgets, results)
+                return
+            except _WorkerCrashed:
+                rid = None
+                self._mark_dead(shard)
+                crashes += 1
+                if crashes > self._max_respawns:
+                    self._quarantine(shard)
+                    continue
+                self.stats.requeued_queries += len(pending)
+                # First recovery is immediate; only repeated crashes while
+                # serving this batch back off (exponentially).
+                if crashes > 1:
+                    backoff = self._respawn_backoff * 2 ** (crashes - 2)
+                    if deadline is not None:
+                        backoff = min(backoff, max(0.0, deadline - time.monotonic()))
+                    if backoff:
+                        time.sleep(backoff)
+                continue
+            if version == self._shard_versions[shard]:
+                self.stats.snapshot_reuses += 1
+            self._shard_versions[shard] = version
+            now = time.monotonic()
+            for position, (_, payload) in zip(pending, replies):
+                if deadlines[position] is not None and now >= deadlines[position]:
+                    # The shard waited to the batch's latest member deadline;
+                    # members with earlier deadlines are individually overdue.
+                    self._fill_timeouts([position], budgets, results)
+                else:
+                    results[position] = payload
+            return
+
+    def _fill_timeouts(self, positions: list[int], budgets: list, results: list) -> None:
+        """Resolve ``positions`` as deadline misses (typed error per slot)."""
+        for position in positions:
+            self.stats.timeouts += 1
+            budget = budgets[position]
+            results[position] = QueryTimeoutError(
+                f"query did not complete within its {budget}s deadline",
+                timeout=budget,
+            )
 
     # ------------------------------------------------------------------
     # introspection
@@ -387,6 +958,19 @@ class ServingEngine:
         return len(self._conns) if self._mode == "process" else 1
 
     @property
+    def quarantined_shards(self) -> frozenset[int]:
+        """Shards currently failed out of service (empty in thread mode)."""
+        if self._mode == "thread":
+            return frozenset()
+        with self._lock:
+            return frozenset(self._quarantined)
+
+    @property
+    def fault_plan(self):
+        """The attached :class:`~repro.engine.faults.FaultPlan` (or ``None``)."""
+        return self._fault_plan
+
+    @property
     def graph(self) -> UndirectedGraph:
         """The logical store: the engine's store, or the routing mirror.
 
@@ -405,15 +989,28 @@ class ServingEngine:
         return self._node_shard.get(node)
 
     def engine_stats(self) -> dict[str, float]:
-        """Return the underlying engine counters, summed across shards."""
+        """Return the underlying engine counters, summed across live shards.
+
+        Quarantined shards are skipped; a dead-but-recoverable shard is
+        respawned first.  A shard that cannot answer within an internal
+        bound is skipped rather than stalling the caller.
+        """
         if self._mode == "thread":
             return self._engine.stats.as_dict()
         with self._lock:
             totals: dict[str, float] = {}
-            for conn in self._conns:
+            for shard in range(len(self._conns)):
+                if not self._ensure_worker(shard):
+                    continue
                 rid = next(self._rid)
-                conn.send(("stats", rid))
-                _, _, counters, _ = conn.recv()
+                try:
+                    self._conns[shard].send(("stats", rid))
+                    counters, _ = self._collect(
+                        shard, rid, time.monotonic() + _STATS_TIMEOUT_SECONDS
+                    )
+                except (_WorkerCrashed, _DeadlineExpired):
+                    self._mark_dead(shard)
+                    continue
                 for key, value in counters.items():
                     totals[key] = totals.get(key, 0) + value
             return totals
@@ -428,7 +1025,9 @@ class ServingEngine:
         stable hash of its canonical edge key; an edge whose endpoints live
         on *different* shards raises
         :class:`~repro.exceptions.CrossShardMutationError` (it would merge
-        two components across worker processes).
+        two components across worker processes).  A quarantined owning
+        shard raises :class:`~repro.exceptions.ShardUnavailableError`
+        before the mirror is touched.
         """
         if self._mode == "thread":
             self._engine.add_edge(u, v)
@@ -447,10 +1046,11 @@ class ServingEngine:
             shard = shard_u if shard_u is not None else shard_v
             if shard is None:
                 shard = self._hash_shard(u, v)
+            self._check_shard_available(shard)
             self._mirror.add_edge(u, v)
             self._node_shard[u] = shard
             self._node_shard[v] = shard
-            self._conns[shard].send(("mutate", "add_edge", (u, v)))
+            self._send_mutation(shard, "add_edge", (u, v))
 
     def remove_edge(self, u: Hashable, v: Hashable) -> None:
         """Remove edge ``(u, v)`` (raises ``EdgeNotFoundError`` if absent)."""
@@ -458,8 +1058,31 @@ class ServingEngine:
             self._engine.remove_edge(u, v)
             return
         with self._lock:
-            self._mirror.remove_edge(u, v)  # authoritative membership check
-            self._conns[self._node_shard[u]].send(("mutate", "remove_edge", (u, v)))
+            if not self._mirror.has_edge(u, v):
+                raise EdgeNotFoundError(u, v)
+            shard = self._node_shard[u]
+            self._check_shard_available(shard)
+            self._mirror.remove_edge(u, v)
+            self._send_mutation(shard, "remove_edge", (u, v))
+
+    def _check_shard_available(self, shard: int) -> None:
+        if shard in self._quarantined:
+            raise ShardUnavailableError(
+                f"shard {shard} is quarantined after repeated worker failures; "
+                "mutations routed to it are refused",
+                shard=shard,
+            )
+
+    def _send_mutation(self, shard: int, op_name: str, args: tuple) -> None:
+        """Journal + forward one mutation; a send failure just marks the
+        worker dead — the oplog replay on respawn delivers the op anyway."""
+        self._oplogs[shard].append((op_name, args))
+        if self._dead[shard]:
+            return
+        try:
+            self._conns[shard].send(("mutate", op_name, args))
+        except (BrokenPipeError, OSError):
+            self._mark_dead(shard)
 
     def _hash_shard(self, u: Hashable, v: Hashable) -> int:
         """Stable fallback shard for an edge between two brand-new nodes.
@@ -480,11 +1103,13 @@ class ServingEngine:
         *,
         kernel: str = "csr",
         at_version: int | None = None,
+        timeout: float | None = None,
         **kwargs,
     ) -> CommunityResult:
         """Answer one query (a batch of one; prefer :meth:`query_batch`)."""
         return self.query_batch(
-            [query], method, kernel=kernel, at_version=at_version, **kwargs
+            [query], method, kernel=kernel, at_version=at_version, timeout=timeout,
+            **kwargs,
         )[0]
 
     def query_batch(
@@ -494,6 +1119,7 @@ class ServingEngine:
         *,
         kernel: str = "csr",
         at_version: int | None = None,
+        timeout=None,
         return_exceptions: bool = False,
         **kwargs,
     ) -> list:
@@ -508,8 +1134,18 @@ class ServingEngine:
         pinning is thread-mode only (shard workers hold independent version
         histories); process mode raises
         :class:`~repro.exceptions.ConfigurationError` for it.
+
+        ``timeout`` is a per-query deadline in seconds: a positive scalar
+        applied to every query, or a sequence of per-query values (``None``
+        entries exempt).  An overdue query's slot resolves to
+        :class:`~repro.exceptions.QueryTimeoutError` (raised, unless
+        ``return_exceptions=True``) instead of stalling the batch; for the
+        global methods the budget also rides into the kernels' cooperative
+        ``time_budget_seconds`` machinery.  A query routed to a quarantined
+        shard resolves to :class:`~repro.exceptions.ShardUnavailableError`.
         """
         batch = [list(query) for query in queries]
+        deadlines, budgets = _resolve_deadlines(timeout, len(batch))
         if self._mode == "process":
             if at_version is not None:
                 raise ConfigurationError(
@@ -518,18 +1154,36 @@ class ServingEngine:
                     "thread mode (or a plain CTCEngine) for time-travel reads"
                 )
             return self._query_batch_process(
-                batch, method, kernel, kwargs, return_exceptions
+                batch, method, kernel, kwargs, return_exceptions, deadlines, budgets
             )
         return self._query_batch_thread(
-            batch, method, kernel, at_version, kwargs, return_exceptions
+            batch, method, kernel, at_version, kwargs, return_exceptions,
+            deadlines, budgets,
         )
 
     def _query_batch_thread(
-        self, batch, method, kernel, at_version, kwargs, return_exceptions
+        self, batch, method, kernel, at_version, kwargs, return_exceptions,
+        deadlines, budgets,
     ) -> list:
         from repro.ctc.api import search
 
-        with self._engine.lease(at_version) as lease:
+        # The lease resolution (delta apply / rebuild wait) honors the
+        # batch's latest deadline; if every member has one, so does the wait.
+        lease_timeout = None
+        if batch and all(d is not None for d in deadlines):
+            lease_timeout = max(0.0, max(deadlines) - time.monotonic())
+        try:
+            lease = self._engine.lease(at_version, timeout=lease_timeout)
+        except QueryTimeoutError:
+            with self._lock:
+                self.stats.batches += 1
+                self.stats.queries += len(batch)
+                results = [None] * len(batch)
+                self._fill_timeouts(list(range(len(batch))), budgets, results)
+            if not return_exceptions:
+                raise
+            return results
+        with lease:
             with self._lock:
                 self.stats.batches += 1
                 self.stats.queries += len(batch)
@@ -548,13 +1202,60 @@ class ServingEngine:
             if not batch:
                 return []
 
-            def run(query):
+            # Thread mode is "shard 0" in fault-plan coordinates.  A
+            # scripted kill is meaningless here (there is no process to
+            # kill) and is consumed as a no-op; poison fails every query in
+            # the batch; delay stalls each query's executor.
+            delay = 0.0
+            poison = False
+            if self._fault_plan is not None:
+                with self._lock:
+                    seq = self._dispatch_seq[0]
+                    self._dispatch_seq[0] = seq + 1
+                directives = self._fault_plan.directives_for(0, seq)
+                delay = directives.get("delay", 0.0)
+                poison = bool(directives.get("poison"))
+
+            def run(index, query):
+                if delay:
+                    time.sleep(delay)
+                if poison:
+                    return RuntimeError(
+                        "fault injection: query poisoned by the fault plan"
+                    )
+                call_kwargs = kwargs
+                if (
+                    budgets[index] is not None
+                    and method in _BUDGETED_METHODS
+                    and "time_budget_seconds" not in kwargs
+                ):
+                    call_kwargs = dict(kwargs, time_budget_seconds=budgets[index])
                 try:
-                    return search(snapshot, query, method=method, kernel=kernel, **kwargs)
+                    return search(
+                        snapshot, query, method=method, kernel=kernel, **call_kwargs
+                    )
                 except Exception as exc:
                     return exc
 
-            results = list(self._pool.map(run, batch))
+            futures = [
+                self._pool.submit(run, index, query)
+                for index, query in enumerate(batch)
+            ]
+            results = []
+            for index, future in enumerate(futures):
+                remaining = (
+                    None
+                    if deadlines[index] is None
+                    else max(0.0, deadlines[index] - time.monotonic())
+                )
+                try:
+                    results.append(future.result(timeout=remaining))
+                except FutureTimeoutError:
+                    future.cancel()
+                    slot = [None]
+                    with self._lock:
+                        self._fill_timeouts([0], [budgets[index]], slot)
+                    results.append(slot[0])
         if not return_exceptions:
             for result in results:
                 if isinstance(result, Exception):
@@ -562,7 +1263,7 @@ class ServingEngine:
         return results
 
     def _query_batch_process(
-        self, batch, method, kernel, kwargs, return_exceptions
+        self, batch, method, kernel, kwargs, return_exceptions, deadlines, budgets
     ) -> list:
         results: list = [None] * len(batch)
         per_shard: dict[int, list[int]] = defaultdict(list)
@@ -577,26 +1278,42 @@ class ServingEngine:
             self.stats.batches += 1
             self.stats.queries += len(batch)
             self.stats.coalesced_queries += len(batch) - len(per_shard)
+            # Pre-dispatch to every healthy shard before collecting any
+            # reply, so shard workers compute in parallel; the supervision
+            # loop in _serve_shard handles everything that goes wrong.
+            dispatched: dict[int, int | None] = {}
             for shard, positions in per_shard.items():
-                self._conns[shard].send(
-                    (
-                        "query_batch",
-                        next(self._rid),
-                        [batch[position] for position in positions],
-                        method,
-                        kernel,
-                        kwargs,
-                    )
+                rid = None
+                proc = self._procs[shard]
+                healthy = (
+                    shard not in self._quarantined
+                    and not self._dead[shard]
+                    and proc is not None
+                    and proc.is_alive()
                 )
+                if healthy:
+                    member_budgets = [
+                        budgets[p] for p in positions if budgets[p] is not None
+                    ]
+                    shard_budget = min(member_budgets) if member_budgets else None
+                    try:
+                        rid = self._dispatch(
+                            shard,
+                            [batch[p] for p in positions],
+                            method,
+                            kernel,
+                            kwargs,
+                            shard_budget,
+                        )
+                    except _WorkerCrashed:
+                        self._mark_dead(shard)
+                        self.stats.requeued_queries += len(positions)
+                dispatched[shard] = rid
             for shard, positions in per_shard.items():
-                _, _, replies, version = self._conns[shard].recv()
-                if version == self._shard_versions[shard]:
-                    self.stats.snapshot_reuses += 1
-                self._shard_versions[shard] = version
-                for position, (_, payload) in zip(positions, replies):
-                    results[position] = payload
-        # Drain every shard's reply before raising, or the unread pipes
-        # would desynchronize the next batch's request/reply pairing.
+                self._serve_shard(
+                    shard, positions, batch, method, kernel, kwargs,
+                    deadlines, budgets, results, rid=dispatched[shard],
+                )
         if not return_exceptions:
             for result in results:
                 if isinstance(result, Exception):
@@ -632,19 +1349,28 @@ class ServingEngine:
         method: str = "lctc",
         *,
         kernel: str = "csr",
+        timeout: float | None = None,
         **kwargs,
     ) -> CommunityResult:
         """Answer one query, coalescing with concurrently-awaiting callers.
 
         Every ``aquery`` call enqueues; a single drainer task groups the
-        backlog by ``(method, kernel, kwargs)`` and runs each group as one
-        :meth:`query_batch` in a worker thread — so N coroutines gathered
-        together resolve N queries against one pinned snapshot, without the
-        callers knowing about each other.  Must run inside an event loop.
+        backlog by ``(method, kernel, kwargs, timeout)`` and runs each group
+        as one :meth:`query_batch` in a worker thread — so N coroutines
+        gathered together resolve N queries against one pinned snapshot,
+        without the callers knowing about each other.  ``timeout`` is this
+        query's deadline in seconds; queries with different timeouts land in
+        different groups so each batch carries one deadline.  Must run
+        inside an event loop.
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        group = (method, kernel, tuple(sorted(kwargs.items())))
+        group = (
+            method,
+            kernel,
+            _kwargs_group_key(kwargs),
+            None if timeout is None else float(timeout),
+        )
         self._pending.append((group, list(query), kwargs, future))
         if self._drain_task is None or self._drain_task.done():
             self._drain_task = loop.create_task(self._drain_pending())
@@ -660,30 +1386,43 @@ class ServingEngine:
             groups: dict = defaultdict(list)
             for group, query, kwargs, future in backlog:
                 groups[group].append((query, kwargs, future))
-            for (method, kernel, _), items in groups.items():
-                queries = [query for query, _, _ in items]
-                kwargs = items[0][1]
-                try:
-                    results = await loop.run_in_executor(
-                        None,
-                        partial(
-                            self.query_batch,
-                            queries,
-                            method,
-                            kernel=kernel,
-                            return_exceptions=True,
-                            **kwargs,
-                        ),
-                    )
-                except Exception as exc:  # batch-level failure (e.g. closed)
-                    results = [exc] * len(items)
-                for (_, _, future), result in zip(items, results):
-                    if future.cancelled():
-                        continue
-                    if isinstance(result, Exception):
-                        future.set_exception(result)
+            for (method, kernel, _, timeout), items in groups.items():
+                # The group key is repr-based; two kwargs dicts can collide
+                # on repr without being equal (e.g. np.float64(1.0) vs 1.0).
+                # Sub-bucket by actual equality so no member ever runs with
+                # another member's kwargs.
+                buckets: list[tuple[dict, list]] = []
+                for item in items:
+                    for bucket_kwargs, bucket_items in buckets:
+                        if bucket_kwargs == item[1]:
+                            bucket_items.append(item)
+                            break
                     else:
-                        future.set_result(result)
+                        buckets.append((item[1], [item]))
+                for bucket_kwargs, bucket_items in buckets:
+                    queries = [query for query, _, _ in bucket_items]
+                    try:
+                        results = await loop.run_in_executor(
+                            None,
+                            partial(
+                                self.query_batch,
+                                queries,
+                                method,
+                                kernel=kernel,
+                                timeout=timeout,
+                                return_exceptions=True,
+                                **bucket_kwargs,
+                            ),
+                        )
+                    except Exception as exc:  # batch-level failure (e.g. closed)
+                        results = [exc] * len(bucket_items)
+                    for (_, _, future), result in zip(bucket_items, results):
+                        if future.cancelled():
+                            continue
+                        if isinstance(result, Exception):
+                            future.set_exception(result)
+                        else:
+                            future.set_result(result)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -698,25 +1437,52 @@ class ServingEngine:
             self._pool.shutdown(wait=True)
         else:
             self._shutdown_process_workers()
+            _unregister_signal_cleanup(self)
+
+    def _emergency_unlink(self) -> None:
+        """Unlink shm segments without joining workers (signal-handler path)."""
+        for bundle in getattr(self, "_bundles", None) or []:
+            try:
+                bundle.unlink()
+            except Exception:
+                pass
 
     def _shutdown_process_workers(self) -> None:
+        """Tear the worker fleet down; every stage survives partial failure.
+
+        A dead worker, a broken pipe, or a mid-teardown exception must not
+        prevent the later stages — above all the bundle unlinks, which are
+        what keep ``/dev/shm`` from leaking.
+        """
         for conn in getattr(self, "_conns", []):
+            if conn is None:
+                continue
             try:
                 conn.send(("stop",))
-            except (BrokenPipeError, OSError):
+            except Exception:
                 pass
         for process in getattr(self, "_procs", []):
-            process.join(timeout=_JOIN_TIMEOUT_SECONDS)
-            if process.is_alive():  # pragma: no cover - hung worker
-                process.terminate()
+            if process is None:
+                continue
+            try:
                 process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+                    process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+            except Exception:  # pragma: no cover - already reaped
+                pass
         for conn in getattr(self, "_conns", []):
+            if conn is None:
+                continue
             try:
                 conn.close()
-            except OSError:  # pragma: no cover - already closed
+            except Exception:  # pragma: no cover - already closed
                 pass
         for bundle in getattr(self, "_bundles", []):
-            bundle.unlink()
+            try:
+                bundle.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
         self._conns, self._procs, self._bundles = [], [], []
 
     def __enter__(self) -> "ServingEngine":

@@ -110,5 +110,48 @@ class CrossShardMutationError(GraphError):
     """
 
 
+class QueryTimeoutError(ReproError):
+    """A query missed its deadline and was abandoned by the serving layer.
+
+    Raised per overdue query by :meth:`~repro.engine.serving.ServingEngine.
+    query_batch` (and :meth:`aquery`) when ``timeout=`` is given: in thread
+    mode when the query's future has not completed by the deadline, in
+    process mode when the owning shard worker has not replied by it.  Also
+    raised by :meth:`~repro.engine.CTCEngine.snapshot_at` when a
+    deadline-bounded wait on another thread's in-flight snapshot build
+    expires.  The computation may still complete in the background — the
+    error only means the caller stopped waiting.
+
+    Attributes
+    ----------
+    timeout:
+        The deadline that was missed, in seconds (``None`` when unknown).
+    """
+
+    def __init__(self, message: str, *, timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+
+
+class ShardUnavailableError(ReproError):
+    """A serving shard was quarantined after repeated worker failures.
+
+    The process-mode :class:`~repro.engine.serving.ServingEngine` respawns a
+    crashed shard worker with bounded retries; once the retry budget is
+    exhausted the shard is quarantined and every query or mutation routed to
+    it fails fast with this error while the remaining shards keep serving
+    (graceful degradation instead of a poisoned engine).
+
+    Attributes
+    ----------
+    shard:
+        The quarantined shard index (``None`` when not applicable).
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
 class ConfigurationError(ReproError):
     """An experiment or dataset configuration is inconsistent."""

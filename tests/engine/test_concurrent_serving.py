@@ -407,3 +407,105 @@ class TestProcessServing:
             # The shm-seeded version-0 snapshots serve straight from cache.
             assert totals["full_rebuilds"] == 0
             assert totals["hits"] >= 2
+
+
+class _ReprCollidingInt(int):
+    """An int whose repr collides with a *different* int's repr.
+
+    ``_ReprCollidingInt(21)`` reprs as ``"20"``, so a kwargs dict holding it
+    produces the same repr-based aquery group key as ``{"eta": 20}`` while
+    comparing unequal — exactly the collision the drainer's equality
+    sub-bucketing exists for.
+    """
+
+    def __repr__(self):
+        return "20"
+
+
+class TestAsyncFacadeGrouping:
+    def test_unhashable_kwarg_values_resolve_instead_of_hanging(self):
+        """Regression: a list-valued kwarg used to crash the drainer task
+        while building the (formerly tuple-of-items, hashable-only) group
+        key, leaving every pending future unresolved — a silent hang.  The
+        repr-based key groups any kwargs; the search layer's TypeError for
+        the unknown argument then comes back through the future."""
+        with ServingEngine(erdos_renyi_graph(20, 0.3, seed=4), workers=2) as serving:
+
+            async def ask():
+                return await asyncio.wait_for(
+                    serving.aquery(QUERY, method="lctc", bogus_weights=[1, 2, 3]),
+                    timeout=30,
+                )
+
+            with pytest.raises(TypeError, match="bogus_weights"):
+                asyncio.run(ask())
+
+    def test_repr_colliding_kwargs_split_into_separate_batches(self):
+        """Two queries whose kwargs repr identically but compare unequal
+        must NOT share a batch (one would silently run with the other's
+        kwargs).  The drainer sub-buckets each group by dict equality."""
+        graph = erdos_renyi_graph(20, 0.3, seed=4)
+        colliding = _ReprCollidingInt(21)
+        assert repr({"eta": colliding}) == repr({"eta": 20})
+        assert {"eta": colliding} != {"eta": 20}
+        oracle = CTCEngine(graph.copy())
+        with ServingEngine(graph, workers=2) as serving:
+
+            async def fan_out():
+                return await asyncio.gather(
+                    serving.aquery(QUERY, method="lctc", eta=colliding),
+                    serving.aquery(QUERY, method="lctc", eta=20),
+                )
+
+            first, second = asyncio.run(fan_out())
+            assert serving.stats.batches == 2  # split, not coalesced
+            assert fingerprint(first) == fingerprint(
+                oracle.query(QUERY, method="lctc", eta=21)
+            )
+            assert fingerprint(second) == fingerprint(
+                oracle.query(QUERY, method="lctc", eta=20)
+            )
+
+
+class TestReturnExceptionsEndToEnd:
+    """return_exceptions=True contracts, exercised in BOTH serving modes."""
+
+    def test_thread_mode_all_slots_failing(self):
+        with ServingEngine(erdos_renyi_graph(20, 0.3, seed=4), workers=2) as serving:
+            results = serving.query_batch(
+                [["no-such-node"], []], return_exceptions=True, **SEARCH
+            )
+            assert len(results) == 2
+            assert all(isinstance(result, QueryError) for result in results)
+            # The same batch without the flag raises the first failure.
+            with pytest.raises(QueryError):
+                serving.query_batch([["no-such-node"], []], **SEARCH)
+
+    def test_process_mode_all_slots_failing(self, two_component_graph):
+        with ServingEngine(
+            two_component_graph, workers=2, mode="process"
+        ) as serving:
+            results = serving.query_batch(
+                [["no-such-node"], [0, 100]], return_exceptions=True, **SEARCH
+            )
+            assert isinstance(results[0], QueryError)
+            assert isinstance(results[1], NoCommunityFoundError)  # cross-shard
+            with pytest.raises(QueryError):
+                serving.query_batch([["no-such-node"], [0, 100]], **SEARCH)
+
+    def test_process_mode_mixes_rejects_with_successes(self, two_component_graph):
+        oracle = CTCEngine(two_component_graph.copy())
+        with ServingEngine(
+            two_component_graph, workers=2, mode="process"
+        ) as serving:
+            results = serving.query_batch(
+                [[0, 1], [0, 100], [100, 101]], return_exceptions=True, **SEARCH
+            )
+            assert fingerprint(results[0]) == fingerprint(
+                oracle.query([0, 1], **SEARCH)
+            )
+            assert isinstance(results[1], NoCommunityFoundError)
+            assert fingerprint(results[2]) == fingerprint(
+                oracle.query([100, 101], **SEARCH)
+            )
+            assert serving.stats.cross_shard_rejects == 1

@@ -1,0 +1,434 @@
+"""Fault-tolerance tests: supervision, deadlines, quarantine, fault injection.
+
+The contracts under test (ISSUE 9's acceptance criteria):
+
+* **Crash recovery is invisible** — with a :class:`FaultPlan` that kills
+  every shard worker once mid-run (under churn, so respawned workers must
+  replay their oplogs), every query completes with a result bit-identical
+  to single-threaded replay, or a typed ``QueryTimeoutError`` /
+  ``ShardUnavailableError`` — never a hang, never a wrong answer.
+* **Deadlines bound every wait** — an overdue query's slot resolves to
+  ``QueryTimeoutError`` in both serving modes, per-query timeout
+  sequences apply independently, and the engine keeps serving afterwards
+  (abandoned replies are discarded, not misdelivered).
+* **Quarantine degrades gracefully** — a shard whose respawns keep
+  failing is failed fast (queries and mutations) while sibling shards
+  keep answering.
+* **FaultPlan is deterministic** — same seed, same scripted schedule;
+  every applied fault is journaled.
+* **No shm leak on SIGTERM** — a signal-terminated parent still unlinks
+  its shared-memory segments (the signal-handler satellite).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.datasets.queries import EdgeChurn
+from repro.engine import CTCEngine, FaultPlan, ServingEngine
+from repro.exceptions import QueryTimeoutError, ShardUnavailableError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.simple_graph import UndirectedGraph
+
+QUERY = [0, 1]
+SEARCH = dict(method="lctc", eta=20)
+
+
+def fingerprint(result):
+    return (frozenset(result.nodes), result.trussness, result.num_edges)
+
+
+def _components_graph(bases=(0, 100, 200)) -> UndirectedGraph:
+    graph = UndirectedGraph()
+    for base in bases:
+        component = erdos_renyi_graph(20, 0.3, seed=4)
+        for u, v in component.edges():
+            graph.add_edge(base + u, base + v)
+    return graph
+
+
+class _DualWriter:
+    """Mutation target that applies every op to the serving engine AND a
+    single-threaded oracle engine, keeping the two stores in lock-step."""
+
+    def __init__(self, serving, oracle):
+        self._serving = serving
+        self._oracle = oracle
+
+    @property
+    def graph(self):
+        return self._serving.graph
+
+    def add_edge(self, u, v):
+        self._serving.add_edge(u, v)
+        self._oracle.add_edge(u, v)
+
+    def remove_edge(self, u, v):
+        self._serving.remove_edge(u, v)
+        self._oracle.remove_edge(u, v)
+
+
+class TestKillRecoveryStress:
+    """The acceptance stress test: one SIGKILL per worker, mid-run, under churn."""
+
+    def test_kill_each_worker_once_is_bit_identical_to_replay(self):
+        graph = _components_graph()
+        queries = [[0, 1], [100, 101], [200, 201]]
+        plan = FaultPlan.kill_each_worker_once(3, first_batch=1)
+        oracle = CTCEngine(graph.copy())
+        with ServingEngine(
+            graph, workers=3, mode="process", fault_plan=plan, respawn_backoff=0.01
+        ) as serving:
+            assert serving.shard_count == 3
+            churn = EdgeChurn(
+                _DualWriter(serving, oracle),
+                seed=11,
+                protect={n for q in queries for n in q},
+            )
+            for window in range(6):
+                for _ in range(2):
+                    assert churn.step()
+                results = serving.query_batch(
+                    queries, timeout=60, return_exceptions=True, **SEARCH
+                )
+                expected = [fingerprint(oracle.query(q, **SEARCH)) for q in queries]
+                for position, result in enumerate(results):
+                    # The contract allows a typed timeout/unavailable error;
+                    # in this deterministic schedule recovery must succeed,
+                    # so every slot must match the single-threaded oracle.
+                    assert not isinstance(
+                        result, (QueryTimeoutError, ShardUnavailableError)
+                    ), f"window {window} slot {position} degraded: {result!r}"
+                    assert not isinstance(result, Exception), repr(result)
+                    assert fingerprint(result) == expected[position]
+            assert plan.pending_faults() == 0
+            assert [e.kind for e in plan.events] == ["kill"] * 3
+            assert serving.stats.worker_crashes == 3
+            assert serving.stats.respawns == 3
+            assert serving.stats.requeued_queries >= 3
+            assert serving.stats.quarantined_shards == 0
+            assert serving.quarantined_shards == frozenset()
+
+    def test_respawned_worker_replays_mutations_applied_after_spawn(self):
+        """The oplog replay: a mutation routed before the kill must be
+        visible to the respawned worker (the bundle baseline predates it)."""
+        graph = _components_graph(bases=(0, 100))
+        with ServingEngine(
+            graph,
+            workers=2,
+            mode="process",
+            fault_plan=FaultPlan().kill_worker(0, before_batch=0),
+            respawn_backoff=0.01,
+        ) as serving:
+            shard0_base = 0 if serving.shard_of(0) == 0 else 100
+            probe = [shard0_base, shard0_base + 1]
+            # Mutate shard 0 before its worker has served anything, then
+            # kill that worker on its very first dispatch.
+            victim = next(
+                (u, v)
+                for u, v in sorted(serving.graph.edges(), key=repr)
+                if u >= shard0_base and u < shard0_base + 100
+                and not {u, v} & set(probe)
+            )
+            serving.remove_edge(*victim)
+            oracle = CTCEngine(serving.graph.copy())
+            got = serving.query(probe, **SEARCH)
+            assert fingerprint(got) == fingerprint(oracle.query(probe, **SEARCH))
+            assert serving.stats.worker_crashes == 1
+            assert serving.stats.respawns == 1
+
+    def test_poisoned_batch_recovers_transparently(self):
+        """A worker exiting mid-batch without replying is requeued clean."""
+        graph = _components_graph(bases=(0,))
+        plan = FaultPlan().poison_query(0, 1)
+        oracle = CTCEngine(graph.copy())
+        with ServingEngine(
+            graph, workers=1, mode="process", fault_plan=plan, respawn_backoff=0.01
+        ) as serving:
+            first = serving.query(QUERY, **SEARCH)  # dispatch 0: clean
+            poisoned = serving.query(QUERY, **SEARCH)  # dispatch 1: poisoned
+            expected = fingerprint(oracle.query(QUERY, **SEARCH))
+            assert fingerprint(first) == expected
+            assert fingerprint(poisoned) == expected  # requeued + recomputed
+            assert serving.stats.worker_crashes == 1
+            assert serving.stats.respawns == 1
+            assert plan.pending_faults() == 0
+
+
+class TestDeadlines:
+    def test_process_mode_timeout_resolves_slot_and_recovers(self):
+        graph = _components_graph(bases=(0,))
+        plan = FaultPlan().delay_reply(0, 1, 1.5)
+        with ServingEngine(
+            graph, workers=1, mode="process", fault_plan=plan
+        ) as serving:
+            baseline = fingerprint(serving.query(QUERY, **SEARCH))  # dispatch 0
+            (slot,) = serving.query_batch(
+                [QUERY], timeout=0.2, return_exceptions=True, **SEARCH
+            )
+            assert isinstance(slot, QueryTimeoutError)
+            assert slot.timeout == pytest.approx(0.2)
+            assert serving.stats.timeouts == 1
+            # The stalled reply is discarded, not delivered to the next rid.
+            assert fingerprint(serving.query(QUERY, **SEARCH)) == baseline
+            assert serving.stats.timeouts == 1
+
+    def test_process_mode_timeout_raises_without_return_exceptions(self):
+        graph = _components_graph(bases=(0,))
+        plan = FaultPlan().delay_reply(0, 1, 1.5)
+        with ServingEngine(
+            graph, workers=1, mode="process", fault_plan=plan
+        ) as serving:
+            serving.query(QUERY, **SEARCH)
+            with pytest.raises(QueryTimeoutError):
+                serving.query(QUERY, timeout=0.2, **SEARCH)
+
+    def test_thread_mode_timeout_resolves_slot(self):
+        graph = erdos_renyi_graph(30, 0.25, seed=5)
+        plan = FaultPlan().delay_reply(0, 0, 1.5)
+        with ServingEngine(graph, workers=2, fault_plan=plan) as serving:
+            (slot,) = serving.query_batch(
+                [QUERY], timeout=0.2, return_exceptions=True, **SEARCH
+            )
+            assert isinstance(slot, QueryTimeoutError)
+            assert serving.stats.timeouts == 1
+            # Batch 1 carries no fault: the pool thread is free again.
+            assert serving.query(QUERY, timeout=30, **SEARCH).trussness >= 2
+
+    def test_thread_mode_per_query_timeout_sequence(self):
+        graph = erdos_renyi_graph(30, 0.25, seed=5)
+        plan = FaultPlan().delay_reply(0, 0, 1.0)
+        with ServingEngine(graph, workers=2, fault_plan=plan) as serving:
+            # The bounded query sits at index 0 so its deadline is checked
+            # while its executor is still inside the scripted stall.
+            bounded, unbounded = serving.query_batch(
+                [QUERY, QUERY], timeout=[0.1, None], return_exceptions=True, **SEARCH
+            )
+            assert isinstance(bounded, QueryTimeoutError)
+            assert bounded.timeout == pytest.approx(0.1)
+            assert not isinstance(unbounded, Exception)  # waited out the delay
+
+    def test_timeout_validation(self):
+        graph = erdos_renyi_graph(20, 0.3, seed=2)
+        with ServingEngine(graph, workers=1) as serving:
+            with pytest.raises(ValueError, match="timeout must be > 0"):
+                serving.query_batch([QUERY], timeout=0, **SEARCH)
+            with pytest.raises(ValueError, match="entries"):
+                serving.query_batch([QUERY], timeout=[1.0, 1.0], **SEARCH)
+
+    def test_aquery_carries_deadlines_onto_groups(self):
+        import asyncio
+
+        graph = erdos_renyi_graph(30, 0.25, seed=5)
+        plan = FaultPlan().delay_reply(0, 0, 1.5)
+        with ServingEngine(graph, workers=2, fault_plan=plan) as serving:
+
+            async def fan_out():
+                bounded = serving.aquery(QUERY, timeout=0.2, **SEARCH)
+                unbounded = serving.aquery(QUERY, **SEARCH)
+                return await asyncio.gather(
+                    bounded, unbounded, return_exceptions=True
+                )
+
+            bounded, unbounded = asyncio.run(fan_out())
+            # Different timeouts land in different groups: only the bounded
+            # group's batch carried the scripted delay or the deadline.
+            assert serving.stats.batches == 2
+            timed_out = [
+                r for r in (bounded, unbounded) if isinstance(r, QueryTimeoutError)
+            ]
+            clean = [r for r in (bounded, unbounded) if not isinstance(r, Exception)]
+            # The delay hits whichever group dispatched first; the bounded
+            # query may time out, the unbounded one must always succeed.
+            assert not isinstance(unbounded, Exception)
+            assert len(clean) >= 1
+            if timed_out:
+                assert serving.stats.timeouts == len(timed_out)
+
+
+class TestQuarantine:
+    def test_exhausted_respawns_quarantine_only_that_shard(self):
+        graph = _components_graph(bases=(0, 100))
+        # The initial spawn consumes one attach failure (the engine starts
+        # with shard 0 dead, pending lazy recovery); the first dispatch then
+        # burns through all max_respawns=2 respawn attempts -> quarantine.
+        plan = FaultPlan().fail_attach(0, times=3)
+        with ServingEngine(
+            graph,
+            workers=2,
+            mode="process",
+            fault_plan=plan,
+            max_respawns=2,
+            respawn_backoff=0.01,
+        ) as serving:
+            shard0_base = 0 if serving.shard_of(0) == 0 else 100
+            other_base = 100 if shard0_base == 0 else 0
+            dead_query = [shard0_base, shard0_base + 1]
+            live_query = [other_base, other_base + 1]
+            dead_slot, live_slot = serving.query_batch(
+                [dead_query, live_query], return_exceptions=True, **SEARCH
+            )
+            assert isinstance(dead_slot, ShardUnavailableError)
+            assert dead_slot.shard == 0
+            assert not isinstance(live_slot, Exception)
+            assert serving.stats.quarantined_shards == 1
+            assert serving.quarantined_shards == frozenset({0})
+            # Queries keep failing fast; the healthy shard keeps serving.
+            with pytest.raises(ShardUnavailableError):
+                serving.query(dead_query, **SEARCH)
+            assert serving.query(live_query, **SEARCH).trussness >= 2
+            # Mutations to the quarantined shard are refused pre-mirror...
+            victim = next(
+                (u, v)
+                for u, v in sorted(serving.graph.edges(), key=repr)
+                if shard0_base <= u < shard0_base + 100
+            )
+            with pytest.raises(ShardUnavailableError):
+                serving.remove_edge(*victim)
+            assert serving.graph.has_edge(*victim)  # the mirror was not touched
+            # ... while the healthy shard still accepts them.
+            serving.add_edge(other_base, other_base + 19)
+            # Quarantine is a level, not a cumulative count.
+            assert serving.stats.quarantined_shards == 1
+            # engine_stats skips the quarantined shard instead of hanging.
+            assert serving.engine_stats()["hits"] >= 0
+
+    def test_attach_failures_below_budget_recover(self):
+        """One attach failure (consumed by the initial spawn) stays below
+        the respawn budget: the first query lazily revives the shard."""
+        graph = _components_graph(bases=(0,))
+        plan = FaultPlan().fail_attach(0, times=1)
+        with ServingEngine(
+            graph,
+            workers=1,
+            mode="process",
+            fault_plan=plan,
+            max_respawns=3,
+            respawn_backoff=0.01,
+        ) as serving:
+            oracle = CTCEngine(graph.copy())
+            got = serving.query(QUERY, **SEARCH)
+            assert fingerprint(got) == fingerprint(oracle.query(QUERY, **SEARCH))
+            assert serving.stats.worker_crashes == 1
+            assert serving.stats.respawns == 1
+            assert serving.stats.quarantined_shards == 0
+            assert [e.kind for e in plan.events] == ["fail_attach"]
+            assert plan.pending_faults() == 0
+
+
+class TestFaultPlan:
+    def test_scripted_random_is_deterministic(self):
+        a = FaultPlan.scripted_random(4, 8, kills=2, delays=2, poisons=1, seed=42)
+        b = FaultPlan.scripted_random(4, 8, kills=2, delays=2, poisons=1, seed=42)
+        assert a._kills == b._kills
+        assert a._delays == b._delays
+        assert a._poisons == b._poisons
+        c = FaultPlan.scripted_random(4, 8, kills=2, delays=2, poisons=1, seed=43)
+        assert (a._kills, a._delays, a._poisons) != (c._kills, c._delays, c._poisons)
+
+    def test_scripted_random_keeps_batch_zero_clean(self):
+        plan = FaultPlan.scripted_random(3, 4, kills=3, delays=3, poisons=3, seed=1)
+        slots = set(plan._kills) | set(plan._delays) | set(plan._poisons)
+        assert all(batch >= 1 for _, batch in slots)
+        assert len(slots) == 9  # sampled without replacement
+
+    def test_directives_fire_once_and_journal(self):
+        plan = FaultPlan().kill_worker(1, 2).delay_reply(1, 2, 0.5).poison_query(0, 3)
+        assert plan.pending_faults() == 3
+        directives = plan.directives_for(1, 2)
+        assert directives == {"kill": True, "delay": 0.5}
+        assert plan.directives_for(1, 2) == {}  # consumed
+        assert plan.directives_for(0, 3) == {"poison": True}
+        assert plan.pending_faults() == 0
+        assert [(e.kind, e.shard, e.batch) for e in plan.events] == [
+            ("kill", 1, 2),
+            ("delay", 1, 2, ),
+            ("poison", 0, 3),
+        ]
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().delay_reply(0, 0, -1.0)
+        with pytest.raises(ValueError):
+            FaultPlan().fail_attach(0, times=0)
+        with pytest.raises(ValueError):
+            FaultPlan.scripted_random(2, 1)
+        with pytest.raises(ValueError):
+            FaultPlan.scripted_random(1, 2, kills=5)
+
+    def test_kill_each_worker_once_staggers(self):
+        plan = FaultPlan.kill_each_worker_once(3, first_batch=2, stride=3)
+        assert plan._kills == {(0, 2), (1, 5), (2, 8)}
+
+    def test_serving_engine_validation(self):
+        graph = erdos_renyi_graph(10, 0.3, seed=1)
+        with pytest.raises(ValueError, match="max_respawns"):
+            ServingEngine(graph, workers=1, max_respawns=0)
+        with pytest.raises(ValueError, match="respawn_backoff"):
+            ServingEngine(graph, workers=1, respawn_backoff=-0.1)
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals and /dev/shm")
+class TestSignalCleanup:
+    def test_sigterm_unlinks_shared_memory_segments(self, tmp_path):
+        """A SIGTERM-killed parent must not leak its /dev/shm segments."""
+        script = textwrap.dedent(
+            """
+            import os, signal, sys, time
+            from repro.engine import ServingEngine
+            from repro.graph.generators import erdos_renyi_graph
+            from repro.graph.simple_graph import UndirectedGraph
+
+            graph = UndirectedGraph()
+            for base in (0, 100):
+                for u, v in erdos_renyi_graph(15, 0.3, seed=4).edges():
+                    graph.add_edge(base + u, base + v)
+            serving = ServingEngine(graph, workers=2, mode="process")
+            names = [
+                segment_name
+                for bundle in serving._bundles
+                for (segment_name, _, _) in bundle.meta.arrays.values()
+            ]
+            print("SEGMENTS:" + ",".join(names), flush=True)
+            time.sleep(60)  # the parent kills us long before this returns
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("SEGMENTS:"), (line, proc.stderr.read())
+            names = line[len("SEGMENTS:"):].strip().split(",")
+            assert names and all(names)
+            for name in names:
+                assert os.path.exists(f"/dev/shm/{name}"), name
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=30)
+            # The handler re-raises into the default disposition: killed by
+            # SIGTERM, not a clean exit that would mask a swallowed signal.
+            assert returncode == -signal.SIGTERM
+            deadline = time.monotonic() + 10
+            leaked = names
+            while leaked and time.monotonic() < deadline:
+                leaked = [n for n in names if os.path.exists(f"/dev/shm/{n}")]
+                time.sleep(0.1)
+            assert not leaked, f"segments leaked after SIGTERM: {leaked}"
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait(timeout=10)

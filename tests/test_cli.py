@@ -220,6 +220,36 @@ class TestSearchCommand:
         args = build_parser().parse_args(["search", "g.txt", "--query", "a", "--engine"])
         assert args.workers == 0
         assert args.serving_mode is None
+        assert args.query_timeout is None
+
+    def test_query_timeout_requires_workers(self, figure1_file):
+        with pytest.raises(SystemExit, match="--query-timeout requires --workers"):
+            main(
+                ["search", figure1_file, "--query", "q1",
+                 "--engine", "--query-timeout", "5"]
+            )
+
+    def test_query_timeout_must_be_positive(self, figure1_file):
+        with pytest.raises(SystemExit, match="--query-timeout must be > 0"):
+            main(
+                ["search", figure1_file, "--query", "q1",
+                 "--engine", "--workers", "2", "--query-timeout", "0"]
+            )
+
+    def test_query_timeout_serves_and_reports_fault_stats(self, figure1_file, capsys):
+        exit_code = main(
+            [
+                "search", figure1_file, "--query", "q1", "q2",
+                "--method", "lctc", "--eta", "50",
+                "--engine", "--repeat", "4", "--workers", "2",
+                "--query-timeout", "30",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "trussness:     4" in captured
+        assert "faults:        0 crashes, 0 respawns, 0 requeued" in captured
+        assert "0 timeouts" in captured
 
     def test_thread_serving_reports_coalescing(self, figure1_file, capsys):
         exit_code = main(
