@@ -1,20 +1,26 @@
 """Shared writer for the gate benchmarks' JSON trajectory artifacts.
 
 Each gate benchmark (``bench_full_rebuild``, ``bench_peeling``,
-``bench_windowed_churn``, ``bench_mixed_workload``) persists its
-measurements to a checked-in JSON file at the repo root so future PRs can
-diff throughput trajectories.  This module is the single place that knows
-the artifact layout: a schema-versioned envelope around a benchmark-owned
-payload, written to a path that an environment variable can redirect (CI
-points them at the uploaded ``bench-*.json`` artifacts).
+``bench_windowed_churn``, ``bench_mixed_workload``, ``bench_serving``,
+``bench_fault_recovery``, ``bench_recovery``) persists its measurements to
+a checked-in JSON file at the repo root so future PRs can diff throughput
+trajectories.  This module is the single place that knows the artifact
+layout: a schema-versioned envelope around a benchmark-owned payload,
+written to a path that an environment variable can redirect (CI points
+them at the uploaded ``bench-*.json`` artifacts).
 
 Schema
 ------
-``schema_version`` (this module's :data:`SCHEMA_VERSION`) and ``benchmark``
-(the producing module's name) are the envelope; everything else —
-``dataset``, ``gate``, ``rows``, workload knobs — is payload, owned by the
-producing benchmark.  Bumping :data:`SCHEMA_VERSION` signals trajectory
-consumers that the envelope itself changed shape, not merely the numbers.
+``schema_version`` (this module's :data:`SCHEMA_VERSION`), ``benchmark``
+(the producing module's name), ``rows`` (the per-measurement records) and
+``medians`` (per-field medians computed *here*, uniformly, over the rows)
+are the envelope; everything else — ``dataset``, ``gate``, workload
+knobs — is payload, owned by the producing benchmark.  Version 2 moved
+``rows`` into the envelope and centralized the median summaries that
+benchmarks previously hand-rolled, so trajectory consumers can read any
+artifact's summary statistics without knowing its row schema.  Bumping
+:data:`SCHEMA_VERSION` signals consumers that the envelope itself changed
+shape, not merely the numbers.
 
 This is the first concrete step toward the unified sweep harness of
 ROADMAP item 5: one writer today, one reader/plotter next.
@@ -24,28 +30,54 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
+from collections.abc import Iterable
 
 __all__ = ["SCHEMA_VERSION", "write_artifact"]
 
 #: Version of the artifact envelope (not of any benchmark's payload).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Envelope keys owned by this writer; payloads may not shadow them.
+_ENVELOPE_KEYS = frozenset({"schema_version", "benchmark", "rows", "medians"})
 
 
 def write_artifact(
-    benchmark: str, payload: dict, *, env_var: str, default_path: str
+    benchmark: str,
+    payload: dict,
+    *,
+    env_var: str,
+    default_path: str,
+    rows: list[dict] | None = None,
+    medians: Iterable[str] = (),
 ) -> str:
     """Write one benchmark's trajectory artifact; return the path written.
 
-    ``payload`` is the benchmark-owned body (``dataset``/``gate``/``rows``
-    and any workload knobs); the envelope keys ``schema_version`` and
-    ``benchmark`` are prepended here and must not appear in ``payload``.
-    The target path is ``os.environ[env_var]`` when set, else
-    ``default_path`` (the checked-in repo-root snapshot).
+    ``payload`` is the benchmark-owned body (``dataset``/``gate`` and any
+    workload knobs); the envelope keys — ``schema_version``, ``benchmark``,
+    ``rows``, ``medians`` — are added here and must not appear in
+    ``payload``.  ``rows`` is the list of per-measurement records; each
+    name in ``medians`` becomes an entry of the envelope's ``medians``
+    dict, the median of that field over every row that carries it (a name
+    no row carries is an error — it means the row schema drifted under
+    the summary).  The target path is ``os.environ[env_var]`` when set,
+    else ``default_path`` (the checked-in repo-root snapshot).
     """
-    overlap = {"schema_version", "benchmark"} & payload.keys()
+    overlap = _ENVELOPE_KEYS & payload.keys()
     if overlap:
         raise ValueError(f"payload must not set envelope keys: {sorted(overlap)}")
     document = {"schema_version": SCHEMA_VERSION, "benchmark": benchmark, **payload}
+    if rows is not None:
+        summary = {}
+        for field in medians:
+            values = [row[field] for row in rows if field in row]
+            if not values:
+                raise ValueError(f"medians field {field!r} appears in no row")
+            summary[field] = round(statistics.median(values), 3)
+        document["rows"] = rows
+        document["medians"] = summary
+    elif tuple(medians):
+        raise ValueError("medians= requires rows=")
     path = os.environ.get(env_var, default_path)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)

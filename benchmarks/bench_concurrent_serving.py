@@ -239,10 +239,11 @@ def test_serving_json_artifact(union_graph, queries):
                 "thread_4worker_speedup": TARGET_THREAD_SPEEDUP,
                 "process_4worker_speedup": TARGET_PROCESS_SPEEDUP,
             },
-            "rows": rows,
         },
         env_var="BENCH_SERVING_JSON",
         default_path="BENCH_serving.json",
+        rows=rows,
+        medians=("queries_per_sec", "speedup"),
     )
     report = [f"serving trajectory -> {path}"]
     for row in rows:

@@ -210,13 +210,11 @@ def test_faults_json_artifact(union_graph, queries):
                 "throughput_retained": TARGET_RETAINED,
                 "recovery_latency_s": RECOVERY_LATENCY_BOUND,
             },
-            "median_throughput_retained": round(
-                statistics.median(row["throughput_retained"] for row in rows), 3
-            ),
-            "rows": rows,
         },
         env_var="BENCH_FAULTS_JSON",
         default_path="BENCH_faults.json",
+        rows=rows,
+        medians=("throughput_retained", "recovery_latency_s"),
     )
     report = [f"fault recovery trajectory -> {path}"]
     for row in rows:

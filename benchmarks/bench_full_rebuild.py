@@ -116,10 +116,11 @@ def test_rebuild_json_artifact(gate_csr, registry_csr):
         {
             "dataset": "dblp-like (registry recipe; gate at rebuild scale)",
             "gate": {"scale": REBUILD_SCALE, "target_speedup": TARGET_SPEEDUP},
-            "rows": rows,
         },
         env_var="BENCH_REBUILD_JSON",
         default_path="BENCH_rebuild.json",
+        rows=rows,
+        medians=("speedup",),
     )
     print(f"\nrebuild trajectory -> {path}")
     for row in rows:

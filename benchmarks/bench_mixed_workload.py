@@ -159,20 +159,21 @@ def test_mixed_json_artifact(network, queries):
             "dataset": "dblp-like (registry recipe)",
             "rounds": ROUNDS,
             "gate": {"target_speedup": TARGET_SPEEDUP},
-            "rows": [
-                {
-                    "policy": "full-rebuild",
-                    "queries_per_sec": round(rebuild_qps, 2),
-                },
-                {
-                    "policy": "delta-apply",
-                    "queries_per_sec": round(delta_qps, 2),
-                    "speedup": round(delta_qps / rebuild_qps, 2),
-                },
-            ],
         },
         env_var="BENCH_MIXED_JSON",
         default_path="BENCH_mixed.json",
+        rows=[
+            {
+                "policy": "full-rebuild",
+                "queries_per_sec": round(rebuild_qps, 2),
+            },
+            {
+                "policy": "delta-apply",
+                "queries_per_sec": round(delta_qps, 2),
+                "speedup": round(delta_qps / rebuild_qps, 2),
+            },
+        ],
+        medians=("queries_per_sec",),
     )
     print(
         f"\nmixed trajectory -> {path}"

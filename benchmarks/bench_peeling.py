@@ -146,10 +146,11 @@ def test_peeling_json_artifact(kernel, queries):
         {
             "dataset": "dblp-like (registry recipe)",
             "gate": {"target_speedup": TARGET_SPEEDUP},
-            "rows": rows,
         },
         env_var="BENCH_PEELING_JSON",
         default_path="BENCH_peeling.json",
+        rows=rows,
+        medians=("speedup",),
     )
     print(f"\npeeling trajectory -> {path}")
     for row in rows:

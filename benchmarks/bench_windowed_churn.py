@@ -272,10 +272,11 @@ def test_window_json_artifact(population, window, schedule):
             "steps": STEPS,
             "arrivals_per_query": BATCH,
             "gate": {"target_speedup": TARGET_SPEEDUP},
-            "rows": rows,
         },
         env_var="BENCH_WINDOW_JSON",
         default_path="BENCH_window.json",
+        rows=rows,
+        medians=("queries_per_sec",),
     )
     print(f"\nwindow trajectory -> {path}" + "\n".join(report))
     assert all(row["queries_per_sec"] > 0 for row in rows)

@@ -19,6 +19,8 @@ Examples
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --window 500
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --workers 4
     ctc-search search graph.txt --query q1 q2 --engine --repeat 100 --workers 4 --serving-mode process
+    ctc-search search graph.txt --query q1 q2 --engine --data-dir ./store --fsync batch
+    ctc-search search --query q1 q2 --engine --data-dir ./store --recover
     ctc-search experiment table2
     ctc-search experiment fig12 --queries 10
 
@@ -48,6 +50,16 @@ an overdue query fails with a typed timeout instead of stalling its
 batch (the serving layer's fault-tolerance machinery — crashed shard
 workers are likewise respawned transparently, with the recovery counters
 reported in the stats footer).
+
+The durability layer (:mod:`repro.engine.persistence`) is exposed through
+``--data-dir DIR``: every mutation is appended to a checksummed
+write-ahead log under ``DIR`` before it is applied, and checkpoints are
+published atomically every ``--checkpoint-every N`` mutations with the
+``--fsync`` policy (``always``/``batch``/``off``) controlling how
+aggressively the log is flushed to stable storage.  ``--recover``
+cold-starts the engine from ``DIR`` instead of an edge-list file (the
+graph argument is omitted) and prints the recovery statistics — the
+checkpoint used, the WAL records replayed, and any torn tail truncated.
 """
 
 from __future__ import annotations
@@ -61,13 +73,20 @@ from repro.ctc.api import available_methods, search
 from repro.datasets.queries import EdgeChurn
 from repro.engine import (
     DEFAULT_CACHE_SIZE,
+    DEFAULT_CHECKPOINT_EVERY,
     DEFAULT_DELTA_THRESHOLD,
     CTCEngine,
+    DurabilityConfig,
     EngineStats,
     ServingEngine,
     SlidingWindowEngine,
 )
-from repro.exceptions import QueryTimeoutError, VersionEvictedError
+from repro.exceptions import (
+    ConfigurationError,
+    QueryTimeoutError,
+    VersionEvictedError,
+    WalCorruptionError,
+)
 from repro.experiments import figures, tables
 from repro.experiments.config import QUICK_CONFIG
 from repro.experiments.reporting import format_table
@@ -102,7 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     search_parser = subparsers.add_parser("search", help="search a community in an edge-list graph")
-    search_parser.add_argument("graph", help="path to a whitespace-separated edge-list file")
+    search_parser.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help=(
+            "path to a whitespace-separated edge-list file (omitted with "
+            "--recover, which reads the store from --data-dir instead)"
+        ),
+    )
     search_parser.add_argument("--query", nargs="+", required=True, help="query node ids")
     search_parser.add_argument(
         "--method", default="lctc", choices=available_methods(), help="search algorithm"
@@ -214,6 +241,46 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     search_parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable mode: append every mutation to a checksummed write-ahead "
+            "log under DIR and publish atomic snapshot checkpoints there "
+            "(requires --engine)"
+        ),
+    )
+    search_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "checkpoint after every N logged mutations, trimming the replayed "
+            f"WAL prefix (default {DEFAULT_CHECKPOINT_EVERY}; requires --data-dir)"
+        ),
+    )
+    search_parser.add_argument(
+        "--fsync",
+        choices=("always", "batch", "off"),
+        default=None,
+        help=(
+            "WAL flush policy with --data-dir: 'always' fsyncs per append, "
+            "'batch' (default) fsyncs periodically and at checkpoints, 'off' "
+            "leaves flushing to the OS (process crashes still lose nothing; "
+            "only power loss is exposed)"
+        ),
+    )
+    search_parser.add_argument(
+        "--recover",
+        action="store_true",
+        help=(
+            "cold-start the engine from --data-dir (latest checkpoint + WAL "
+            "replay, truncating any torn tail) instead of loading an edge-list "
+            "file, and print the recovery statistics"
+        ),
+    )
+    search_parser.add_argument(
         "--window",
         type=int,
         default=0,
@@ -273,27 +340,71 @@ def _run_search(args: argparse.Namespace) -> int:
             "--workers does not combine with --window (window expiry bookkeeping "
             "is not routed through the serving layer)"
         )
+    if args.data_dir and not args.engine:
+        raise SystemExit("--data-dir requires --engine (the WAL hangs off the delta log)")
+    if args.checkpoint_every is not None and not args.data_dir:
+        raise SystemExit("--checkpoint-every requires --data-dir")
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        raise SystemExit("--checkpoint-every must be >= 1")
+    if args.fsync and not args.data_dir:
+        raise SystemExit("--fsync requires --data-dir")
+    if args.recover and not args.data_dir:
+        raise SystemExit("--recover requires --data-dir (it names the store to recover)")
+    if args.recover and args.graph is not None:
+        raise SystemExit("--recover reads the store from --data-dir; omit the graph argument")
+    if not args.recover and args.graph is None:
+        raise SystemExit("a graph edge-list file is required unless --recover is given")
     serving_mode = args.serving_mode or "thread"
+    if args.data_dir and args.workers and serving_mode == "process":
+        raise SystemExit(
+            "--data-dir does not combine with --serving-mode process (mutations "
+            "routed to shard workers bypass the parent's write-ahead log)"
+        )
     if args.workers and serving_mode == "process" and args.at_version is not None:
         raise SystemExit(
             "--at-version requires --serving-mode thread (shard workers hold "
             "independent version histories)"
         )
     kernel = args.kernel or ("csr" if args.engine else "dict")
-    graph = read_edge_list(args.graph)
+    durability = None
+    if args.data_dir:
+        durability = DurabilityConfig(
+            path=args.data_dir,
+            fsync=args.fsync or "batch",
+            checkpoint_every=args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+        )
     if args.engine:
         engine_kwargs = dict(
-            copy=False,
             cache_size=args.cache_size,
             delta_threshold=args.delta_threshold,
             decomp=args.decomp or "auto",
         )
-        if args.window:
-            target = SlidingWindowEngine(graph, window=args.window, **engine_kwargs)
+        if args.recover:
+            try:
+                if args.window:
+                    target = SlidingWindowEngine.recover(
+                        durability, window=args.window, **engine_kwargs
+                    )
+                else:
+                    target = CTCEngine.recover(durability, **engine_kwargs)
+            except (ConfigurationError, WalCorruptionError) as exc:
+                raise SystemExit(f"--recover failed: {exc}") from exc
         else:
-            target = CTCEngine(graph, **engine_kwargs)
+            graph = read_edge_list(args.graph)
+            if args.window:
+                target = SlidingWindowEngine(
+                    graph,
+                    window=args.window,
+                    copy=False,
+                    durability=durability,
+                    **engine_kwargs,
+                )
+            else:
+                target = CTCEngine(
+                    graph, copy=False, durability=durability, **engine_kwargs
+                )
     else:
-        target = graph
+        target = read_edge_list(args.graph)
     serving = None
     if args.workers:
         serving = ServingEngine(
@@ -424,6 +535,30 @@ def _run_search(args: argparse.Namespace) -> int:
                 f"window:        {len(target.window_edges())}/{target.window} live edges "
                 f"(version {target.version})"
             )
+        if args.recover and target.last_recovery is not None:
+            recovery = target.last_recovery
+            checkpoint = (
+                f"checkpoint v{recovery.checkpoint_version}"
+                if recovery.checkpoint_version is not None
+                else "no checkpoint (WAL only)"
+            )
+            print(
+                f"recovery:      {checkpoint}, {recovery.replayed_deltas} deltas "
+                f"replayed of {recovery.wal_records} WAL records, "
+                f"{recovery.truncated_bytes} torn bytes truncated "
+                f"-> version {recovery.recovered_version} "
+                f"in {recovery.seconds:.3f}s"
+            )
+        if args.data_dir:
+            dstats = target.durability_stats()
+            print(
+                f"durability:    fsync={dstats['fsync_policy']}, "
+                f"{dstats['wal_appends']} WAL appends ({dstats['wal_fsyncs']} fsyncs, "
+                f"{dstats['wal_bytes']} bytes), {dstats['checkpoints']} checkpoints "
+                f"(last v{dstats['last_checkpoint_version']}, "
+                f"{dstats['deltas_since_checkpoint']} deltas since)"
+            )
+            target.close()
     return 0
 
 

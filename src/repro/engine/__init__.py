@@ -19,20 +19,38 @@ from repro.engine.core import (
     SnapshotLease,
 )
 from repro.engine.faults import FaultEvent, FaultPlan
+from repro.engine.persistence import (
+    DEFAULT_CHECKPOINT_BYTES,
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_FSYNC_BATCH,
+    CheckpointStore,
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveryReport,
+    WriteAheadLog,
+)
 from repro.engine.serving import ServingEngine, ServingStats
 from repro.engine.window import SlidingWindowEngine
 
 __all__ = [
     "CTCEngine",
+    "CheckpointStore",
+    "DurabilityConfig",
+    "DurabilityManager",
     "EngineSnapshot",
     "EngineStats",
     "FaultEvent",
     "FaultPlan",
+    "RecoveryReport",
     "ServingEngine",
     "ServingStats",
     "SlidingWindowEngine",
     "SnapshotLease",
+    "WriteAheadLog",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_CHECKPOINT_BYTES",
+    "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_DELTA_THRESHOLD",
     "DEFAULT_DELTA_LOG_LIMIT",
+    "DEFAULT_FSYNC_BATCH",
 ]

@@ -103,6 +103,7 @@ trimmed past it — the epoch-reclamation scheme the serving layer
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -113,10 +114,17 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.ctc.result import CommunityResult
+from repro.engine.persistence import (
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveryReport,
+)
 from repro.exceptions import (
+    ConfigurationError,
     QueryTimeoutError,
     StaleMaintainerError,
     VersionEvictedError,
+    WalCorruptionError,
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.csr_triangles import TriangleIncidence, patch_incidence
@@ -158,11 +166,13 @@ def _apply_delta_to_graph(graph: UndirectedGraph, delta: GraphDelta) -> None:
 class EngineSnapshot:
     """One frozen version of the engine's store, indexed on demand.
 
-    The eagerly built attributes are the array replica — ``graph`` (a
-    private frozen copy, never mutated), ``csr`` (its CSR form) and
-    ``trussness`` (the per-edge-id trussness array the incremental
-    maintenance of the *next* delta apply consumes).  Everything derived
-    for query execution is **lazy**:
+    The eagerly built attributes are the array replica — ``csr`` (the
+    frozen CSR form) and ``trussness`` (the per-edge-id trussness array
+    the incremental maintenance of the *next* delta apply consumes).
+    ``graph`` (a private frozen dict-form copy, never mutated) is eager on
+    the ordinary build paths but lazily thawed from ``csr`` when the
+    snapshot was seeded straight from frozen arrays (``graph=None``).
+    Everything derived for query execution is **lazy**:
 
     * :attr:`kernel` — the :class:`~repro.ctc.kernels.QueryKernel` the
       CSR-native query path runs on, memoized so its sorted-adjacency
@@ -197,7 +207,7 @@ class EngineSnapshot:
 
     __slots__ = (
         "version",
-        "graph",
+        "_graph",
         "csr",
         "trussness",
         "incidence",
@@ -211,7 +221,7 @@ class EngineSnapshot:
     def __init__(
         self,
         version: int,
-        graph: UndirectedGraph,
+        graph: UndirectedGraph | None,
         csr: CSRGraph,
         trussness: np.ndarray,
         index: TrussIndex | None = None,
@@ -221,7 +231,7 @@ class EngineSnapshot:
         on_enumerate=None,
     ) -> None:
         self.version = version
-        self.graph = graph
+        self._graph = graph
         self.csr = csr
         self.trussness = trussness
         self.incidence = incidence
@@ -232,6 +242,22 @@ class EngineSnapshot:
         #: Serializes the lazy builds below so concurrent readers of one
         #: snapshot memoize each derived structure exactly once.
         self._lazy_lock = threading.RLock()
+
+    @property
+    def graph(self) -> UndirectedGraph:
+        """The snapshot's frozen dict-form store (never mutated).
+
+        Snapshots seeded straight from frozen arrays — a recovered
+        checkpoint, a serving worker's shared-memory baseline — are built
+        with ``graph=None`` and thaw the dict form from :attr:`csr` on
+        first access, so array-kernel consumers never pay the O(m) Python
+        reconstruction.
+        """
+        if self._graph is None:
+            with self._lazy_lock:
+                if self._graph is None:
+                    self._graph = self.csr.to_graph()
+        return self._graph
 
     def _adopt_incidence(self, incidence: TriangleIncidence) -> None:
         """Adopt a kernel's lazily enumerated incidence and report the cost.
@@ -438,6 +464,19 @@ class CTCEngine:
         sequential bucket queue by snapshot size, ``"vector"`` / ``"bucket"``
         pin one — see :mod:`repro.trusses.csr_decomposition`.  Both produce
         bit-identical trussness; the knob is purely a performance decision.
+    durability:
+        ``None`` (default) keeps the engine RAM-only.  A
+        :class:`~repro.engine.persistence.DurabilityConfig` (or a bare
+        data-directory path) makes the engine crash-safe: every mutation's
+        delta is appended to the directory's write-ahead log *before* the
+        version bump, :meth:`checkpoint` publishes atomic snapshot
+        checkpoints (auto-triggered by the config's delta-count/size
+        policy, trimming the WAL behind them), and
+        :meth:`CTCEngine.recover` restores the whole store after a crash.
+        The data directory must be fresh — adopting one with existing
+        state raises :class:`~repro.exceptions.ConfigurationError`
+        (recover it instead).  Call :meth:`close` to flush the WAL on
+        clean shutdown.
 
     Examples
     --------
@@ -460,6 +499,7 @@ class CTCEngine:
         delta_threshold: float = DEFAULT_DELTA_THRESHOLD,
         delta_log_limit: int = DEFAULT_DELTA_LOG_LIMIT,
         decomp: str = "auto",
+        durability: DurabilityConfig | str | os.PathLike | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
@@ -496,6 +536,27 @@ class CTCEngine:
         #: concurrent misses on one version build it exactly once.
         self._building: dict[int, threading.Event] = {}
         self.stats = EngineStats()
+        #: A frozen CSR the mutable store can be thawed from on demand;
+        #: set by :meth:`recover`/:meth:`from_arrays` so cold starts skip
+        #: the O(m) Python graph reconstruction until a mutation (or a
+        #: direct store read) actually needs it.
+        self._lazy_csr: CSRGraph | None = None
+        #: Durability layer (``None`` = RAM-only); set by ``durability=``
+        #: on a fresh directory or adopted by :meth:`recover`.
+        self._durability: DurabilityManager | None = None
+        #: What the last :meth:`recover` did (``None`` on fresh engines).
+        self.last_recovery: RecoveryReport | None = None
+        if durability is not None:
+            manager = DurabilityManager.create(DurabilityConfig.coerce(durability))
+            # Bootstrap record: the initial graph as a version-0 delta, so
+            # WAL-only recovery (no checkpoint yet) starts from the right
+            # store instead of an empty one.
+            bootstrap = GraphDelta(
+                added_nodes=self._graph.nodes(), added_edges=self._graph.edges()
+            )
+            if not bootstrap.is_empty():
+                manager.append(0, bootstrap)
+            self._durability = manager
 
     @classmethod
     def from_arrays(
@@ -517,12 +578,29 @@ class CTCEngine:
         so the worker's first queries skip the from-scratch decomposition
         entirely.  The arrays may be read-only (shared) views — snapshots
         never mutate them.
+
+        On :class:`CTCEngine` itself (not subclasses, whose constructors
+        derive bookkeeping from the store) the mutable dict-form store is
+        additionally thawed *lazily*: a worker serving only array-kernel
+        queries never pays the O(m) Python graph reconstruction.
         """
-        engine = cls(csr.to_graph(), copy=False, **kwargs)
+        # Subclasses derive constructor-time bookkeeping from the store,
+        # and a durable engine's bootstrap WAL record snapshots it — both
+        # need the dict form eagerly.
+        lazy = (
+            cls is CTCEngine
+            and trussness is not None
+            and kwargs.get("durability") is None
+        )
+        if lazy:
+            engine = cls(UndirectedGraph(), copy=False, **kwargs)
+            engine._lazy_csr = csr
+        else:
+            engine = cls(csr.to_graph(), copy=False, **kwargs)
         if trussness is not None:
             seeded = EngineSnapshot(
                 version=0,
-                graph=engine._graph.copy(),
+                graph=None if lazy else engine._graph.copy(),
                 csr=csr,
                 trussness=trussness,
                 supports=supports,
@@ -535,6 +613,16 @@ class CTCEngine:
     # ------------------------------------------------------------------
     # store access
     # ------------------------------------------------------------------
+    def _ensure_store(self) -> None:
+        """Thaw the mutable store from a lazily held CSR (no-op otherwise)."""
+        if self._lazy_csr is None:
+            return
+        with self._mutex:
+            if self._lazy_csr is None:
+                return
+            self._graph = self._lazy_csr.to_graph()
+            self._lazy_csr = None
+
     @property
     def graph(self) -> UndirectedGraph:
         """The live mutable store.
@@ -543,6 +631,7 @@ class CTCEngine:
         :meth:`maintainer`); direct mutation bypasses version tracking and
         leaves stale snapshots in the cache.
         """
+        self._ensure_store()
         return self._graph
 
     @property
@@ -566,16 +655,27 @@ class CTCEngine:
         return self._decomp
 
     def _record(self, delta: GraphDelta) -> None:
-        """Log one effective mutation: bump the version and append its delta."""
+        """Log one effective mutation: bump the version and append its delta.
+
+        With durability on, the delta hits the write-ahead log *before*
+        the version bump (classic WAL ordering: the store never
+        acknowledges a version whose delta is not on disk), and the
+        checkpoint policy runs after — still under the re-entrant mutex,
+        so the auto-checkpoint's snapshot build is ordinary re-entry.
+        """
         if delta.is_empty():
             return
         with self._mutex:
+            if self._durability is not None:
+                self._durability.append(self._version + 1, delta)
             self._version += 1
             self.stats.invalidations += 1
             if self._delta_log_limit:
                 self._delta_log[self._version] = delta
                 while len(self._delta_log) > self._delta_log_limit:
                     self._delta_log.popitem(last=False)
+            if self._durability is not None and self._durability.checkpoint_due():
+                self.checkpoint()
 
     # ------------------------------------------------------------------
     # mutations (every effective one bumps the version and logs a delta)
@@ -583,6 +683,7 @@ class CTCEngine:
     def add_edge(self, u: Hashable, v: Hashable) -> None:
         """Add edge ``(u, v)`` to the store; a no-op if already present."""
         with self._mutex:
+            self._ensure_store()
             if self._graph.has_edge(u, v):
                 return
             added_nodes = [node for node in (u, v) if not self._graph.has_node(node)]
@@ -600,6 +701,7 @@ class CTCEngine:
         added_nodes: set[Hashable] = set()
         added_edges: list[tuple[Hashable, Hashable]] = []
         with self._mutex:
+            self._ensure_store()
             try:
                 for u, v in edges:
                     if self._graph.has_edge(u, v):
@@ -620,12 +722,14 @@ class CTCEngine:
             If the edge is not present.
         """
         with self._mutex:
+            self._ensure_store()
             self._graph.remove_edge(u, v)
             self._record(GraphDelta(removed_edges=[(u, v)]))
 
     def add_node(self, node: Hashable) -> None:
         """Add ``node`` to the store; a no-op if already present."""
         with self._mutex:
+            self._ensure_store()
             if self._graph.has_node(node):
                 return
             self._graph.add_node(node)
@@ -640,6 +744,7 @@ class CTCEngine:
             If ``node`` is not in the store.
         """
         with self._mutex:
+            self._ensure_store()
             neighbors = list(self._graph.neighbors(node))  # raises NodeNotFoundError
             self._graph.remove_node(node)
             self._record(
@@ -677,6 +782,163 @@ class CTCEngine:
         :meth:`KTrussMaintainer.delete_vertices`.
         """
         return self.maintainer(k).delete_vertices(vertices)
+
+    # ------------------------------------------------------------------
+    # durability (WAL + checkpoints; see repro.engine.persistence)
+    # ------------------------------------------------------------------
+    @property
+    def durability(self) -> DurabilityManager | None:
+        """The durability layer, or ``None`` for a RAM-only engine."""
+        return self._durability
+
+    def durability_stats(self) -> dict | None:
+        """WAL/checkpoint counters (``None`` for a RAM-only engine)."""
+        if self._durability is None:
+            return None
+        return self._durability.stats()
+
+    def checkpoint(self) -> str:
+        """Publish an atomic checkpoint of the current version; return its path.
+
+        Resolves the current snapshot (delta apply or rebuild as usual),
+        writes its arrays plus a checksummed manifest into the data
+        directory via the stage-rename protocol, then trims the WAL
+        records the checkpoint now covers.  Also invoked automatically by
+        the config's ``checkpoint_every`` / ``checkpoint_bytes`` policy.
+
+        Raises
+        ------
+        ConfigurationError
+            If the engine was built without ``durability=``.
+        """
+        if self._durability is None:
+            raise ConfigurationError(
+                "checkpoint() requires a durable engine; pass durability= "
+                "to CTCEngine"
+            )
+        snapshot = self.snapshot()
+        with self._mutex:
+            return self._durability.write_checkpoint(snapshot)
+
+    def close(self) -> None:
+        """Flush and close the durability layer (no-op for RAM-only engines).
+
+        Only buffered-WAL state is at stake: every append is flushed to
+        the OS immediately, so even without :meth:`close` a killed process
+        loses nothing — the final fsync here only hardens against the
+        machine itself dying right after shutdown.
+        """
+        if self._durability is not None:
+            self._durability.close()
+
+    @classmethod
+    def recover(
+        cls,
+        durability: DurabilityConfig | str | os.PathLike,
+        **engine_kwargs,
+    ) -> "CTCEngine":
+        """Restore an engine from a data directory: checkpoint + WAL replay.
+
+        The newest verifiable checkpoint seeds the store (arrays reopened
+        with ``np.load(mmap_mode="r")`` — no decomposition, and the
+        mutable dict-form store is thawed lazily on first mutation) and
+        the WAL records past its version are replayed through the normal
+        delta machinery, so the recovered engine's snapshots are
+        bit-identical to an uninterrupted run's.  A torn WAL tail (crash mid-append) is
+        truncated silently; mid-log damage raises
+        :class:`~repro.exceptions.WalCorruptionError`.  The WAL stays
+        attached: the recovered engine keeps logging (and checkpointing)
+        into the same directory.
+
+        ``engine_kwargs`` are the usual constructor knobs (``cache_size``,
+        ``delta_threshold``, ``decomp``, ...; subclasses add their own,
+        e.g. ``window=``).  The recovery details land on
+        :attr:`last_recovery`.
+
+        Raises
+        ------
+        ConfigurationError
+            If the directory holds no durable state.
+        WalCorruptionError
+            On mid-log WAL damage or a checkpoint/WAL version gap.
+        """
+        for reserved in ("copy", "durability", "graph"):
+            if reserved in engine_kwargs:
+                raise ValueError(f"recover() manages {reserved!r} itself")
+        started = time.perf_counter()
+        config = DurabilityConfig.coerce(durability)
+        manager, checkpoint, records, truncated = DurabilityManager.open_existing(
+            config
+        )
+        try:
+            engine = cls(UndirectedGraph(), copy=False, **engine_kwargs)
+            base_version = 0
+            if checkpoint is not None:
+                # The mutable dict-form store is NOT rebuilt here: the
+                # checkpoint's CSR is held lazily and thawed only when a
+                # mutation (or direct store read) needs it, so a cold
+                # start is queryable in O(mmap) rather than O(m) time.
+                engine._lazy_csr = checkpoint.csr
+                engine._version = checkpoint.version
+                base_version = checkpoint.version
+                seeded = EngineSnapshot(
+                    version=checkpoint.version,
+                    graph=None,  # thawed from csr on demand
+                    csr=checkpoint.csr,
+                    trussness=checkpoint.trussness,
+                    supports=checkpoint.supports,
+                    incidence=checkpoint.incidence,
+                    on_enumerate=engine._note_enumeration,
+                )
+                engine._store(seeded)
+            replayed = 0
+            for version, delta in records:
+                if checkpoint is not None and version <= base_version:
+                    continue  # checkpointed before the trim landed; covered
+                if version == 0:
+                    # Bootstrap record: the initial store content.  Not a
+                    # delta-log entry (version 0 has no producing delta).
+                    _apply_delta_to_graph(engine._graph, delta)
+                    continue
+                if version != engine._version + 1:
+                    raise WalCorruptionError(
+                        f"WAL resumes at version {version} but the recovered "
+                        f"state is at version {engine._version} — the log "
+                        "was trimmed without its covering checkpoint",
+                        path=config.wal_path,
+                    )
+                engine._ensure_store()
+                _apply_delta_to_graph(engine._graph, delta)
+                engine._version = version
+                if engine._delta_log_limit:
+                    engine._delta_log[version] = delta
+                    while len(engine._delta_log) > engine._delta_log_limit:
+                        engine._delta_log.popitem(last=False)
+                replayed += 1
+        except BaseException:
+            manager.close()
+            raise
+        engine._durability = manager
+        engine._post_recover()
+        engine.last_recovery = RecoveryReport(
+            checkpoint_version=(
+                checkpoint.version if checkpoint is not None else None
+            ),
+            checkpoint_path=checkpoint.path if checkpoint is not None else None,
+            wal_records=len(records),
+            replayed_deltas=replayed,
+            truncated_bytes=truncated,
+            recovered_version=engine._version,
+            seconds=time.perf_counter() - started,
+        )
+        return engine
+
+    def _post_recover(self) -> None:
+        """Subclass hook: rebuild derived bookkeeping after a recovery replay.
+
+        Runs with the durability manager attached, so any mutations it
+        issues (e.g. window expiry) are logged like live ones.
+        """
 
     # ------------------------------------------------------------------
     # snapshots
@@ -779,6 +1041,7 @@ class CTCEngine:
                         base = self._temporal_base(target)
                     if base is None:
                         # Freeze the store under the mutex; decompose outside.
+                        self._ensure_store()
                         frozen = (
                             self._graph.copy() if current else self._graph_at(target)
                         )
@@ -1154,10 +1417,13 @@ class CTCEngine:
         ]
 
     def __repr__(self) -> str:
+        # A lazy (not-yet-thawed) store answers counts from the CSR so
+        # repr never forces the O(m) reconstruction.
+        store = self._lazy_csr if self._lazy_csr is not None else self._graph
         return (
             f"{type(self).__name__}(version={self._version}, "
-            f"nodes={self._graph.number_of_nodes()}, "
-            f"edges={self._graph.number_of_edges()}, "
+            f"nodes={store.number_of_nodes()}, "
+            f"edges={store.number_of_edges()}, "
             f"cached={len(self._cache)}/{self._cache_size})"
         )
 

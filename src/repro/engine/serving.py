@@ -169,34 +169,44 @@ _signal_engines: "weakref.WeakSet[ServingEngine]" = weakref.WeakSet()
 _prior_handlers: dict[int, object] = {}
 
 
-def _signal_cleanup(signum, frame) -> None:  # pragma: no cover - exercised in a subprocess
+def _signal_cleanup(signum, frame) -> None:
+    # Restore the prior disposition *first*: a second delivery of the same
+    # signal mid-cleanup then goes straight to the original handler instead
+    # of re-entering this one — that ordering is what makes the handler
+    # idempotent under signal storms.
+    prior = _prior_handlers.pop(signum, None)
+    if prior is None:
+        prior = signal.SIG_DFL
+    try:
+        signal.signal(signum, prior)
+    except (ValueError, OSError, TypeError):  # pragma: no cover - exotic prior
+        signal.signal(signum, signal.SIG_DFL)
     for engine in list(_signal_engines):
         try:
             engine._emergency_unlink()
         except Exception:
             pass
-    prior = _prior_handlers.get(signum)
-    if prior is None:
-        prior = signal.SIG_DFL
-    try:
-        signal.signal(signum, prior)
-    except (ValueError, OSError, TypeError):
-        signal.signal(signum, signal.SIG_DFL)
+    # Re-raise into the restored handler so the prior disposition (a chained
+    # application handler, or the default: die) still runs.
     signal.raise_signal(signum)
 
 
 def _register_signal_cleanup(engine: "ServingEngine") -> None:
     with _signal_lock:
         _signal_engines.add(engine)
-        if _prior_handlers:
-            return
         if threading.current_thread() is not threading.main_thread():
             return  # signal.signal only works from the main thread
-        try:
-            for signum in (signal.SIGTERM, signal.SIGINT):
+        # (Re-)chain per signum: if the application installed its own handler
+        # after ours (replacing it), capture that handler as the new prior so
+        # cleanup still forwards to it; if ours is already installed, leave
+        # the recorded prior alone.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                if signal.getsignal(signum) is _signal_cleanup:
+                    continue
                 _prior_handlers[signum] = signal.signal(signum, _signal_cleanup)
-        except (ValueError, OSError):  # pragma: no cover - restricted host
-            _prior_handlers.clear()
+            except (ValueError, OSError):  # pragma: no cover - restricted host
+                _prior_handlers.pop(signum, None)
 
 
 def _unregister_signal_cleanup(engine: "ServingEngine") -> None:
@@ -230,9 +240,12 @@ class ServingStats:
     detected (however discovered), ``respawns`` is successful replacements,
     ``requeued_queries`` counts query positions re-dispatched after a
     crash, ``timeouts`` counts queries whose slot became a
-    :class:`~repro.exceptions.QueryTimeoutError`, and
-    ``quarantined_shards`` is the *current* number of shards failed out of
-    service (a level, not a cumulative count).
+    :class:`~repro.exceptions.QueryTimeoutError`,
+    ``bundle_rebuilds`` counts shard snapshot bundles republished into
+    fresh shared-memory segments because the originals had been unlinked
+    (e.g. by an emergency signal cleanup that the process then survived),
+    and ``quarantined_shards`` is the *current* number of shards failed
+    out of service (a level, not a cumulative count).
     """
 
     mode: str = "thread"
@@ -247,6 +260,7 @@ class ServingStats:
     respawns: int = 0
     requeued_queries: int = 0
     timeouts: int = 0
+    bundle_rebuilds: int = 0
     quarantined_shards: int = 0
 
     def as_dict(self) -> dict[str, float]:
@@ -264,6 +278,7 @@ class ServingStats:
             "respawns": self.respawns,
             "requeued_queries": self.requeued_queries,
             "timeouts": self.timeouts,
+            "bundle_rebuilds": self.bundle_rebuilds,
             "quarantined_shards": self.quarantined_shards,
         }
 
@@ -458,10 +473,16 @@ class ServingEngine:
     Parameters
     ----------
     source:
-        The graph to serve: an :class:`UndirectedGraph` (copied), or an
+        The graph to serve: an :class:`UndirectedGraph` (copied), an
         existing :class:`CTCEngine` — thread mode serves the engine
         *in place* (sharing its store and cache), process mode freezes its
-        current snapshot as the shard baseline.
+        current snapshot as the shard baseline — or a durability data
+        directory (``str`` / ``os.PathLike``), which is cold-started via
+        :meth:`CTCEngine.recover` first.  A path source in thread mode
+        keeps logging served mutations to the recovered WAL (and closes it
+        with the front-end); in process mode the recovered store is only
+        the *frozen baseline* — mutations routed to workers afterwards are
+        **not** written back to the data directory.
     workers:
         Thread-pool width (thread mode) / maximum shard worker processes
         (process mode; capped by the number of connected components).
@@ -493,7 +514,7 @@ class ServingEngine:
 
     def __init__(
         self,
-        source: UndirectedGraph | CTCEngine,
+        source: UndirectedGraph | CTCEngine | str | os.PathLike,
         *,
         workers: int = 4,
         mode: str = "thread",
@@ -528,18 +549,35 @@ class ServingEngine:
         self._pending: list = []
         self._drain_task: asyncio.Task | None = None
 
-        if mode == "thread":
-            if isinstance(source, CTCEngine):
-                self._engine = source
+        #: A CTCEngine this front-end cold-started from a durability data
+        #: directory; its WAL handle is ours to close.
+        self._recovered: CTCEngine | None = None
+        if isinstance(source, (str, os.PathLike)):
+            source = CTCEngine.recover(source, **engine_kwargs)
+            self._recovered = source
+
+        try:
+            if mode == "thread":
+                if isinstance(source, CTCEngine):
+                    self._engine = source
+                else:
+                    self._engine = CTCEngine(source, **engine_kwargs)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-serving"
+                )
+                self._last_version: int | None = None
             else:
-                self._engine = CTCEngine(source, **engine_kwargs)
-            self._pool = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-serving"
-            )
-            self._last_version: int | None = None
-        else:
-            self._start_process_workers(source)
-            _register_signal_cleanup(self)
+                self._start_process_workers(source)
+                if self._recovered is not None:
+                    # The baseline is frozen into the shard bundles; routed
+                    # mutations are not logged, so release the WAL now.
+                    self._recovered.close()
+                    self._recovered = None
+                _register_signal_cleanup(self)
+        except BaseException:
+            if self._recovered is not None:
+                self._recovered.close()
+            raise
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -684,12 +722,58 @@ class ServingEngine:
             self._dead[shard] = True
             self.stats.worker_crashes += 1
 
+    def _segments_missing(self, shard: int) -> bool:
+        """Probe whether any of ``shard``'s shm segments has been unlinked.
+
+        Each segment name is opened and immediately closed; the resource
+        tracker's registration set already holds one entry per name for the
+        owner, and re-registering a member of a set is a no-op, so probing
+        never disturbs the ownership bookkeeping.
+        """
+        from multiprocessing import shared_memory
+
+        meta = self._bundles[shard].meta
+        names = [segment_name for segment_name, _, _ in meta.arrays.values()]
+        if meta.objects_segment is not None:
+            names.append(meta.objects_segment)
+        for name in names:
+            try:
+                probe = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                return True
+            probe.close()
+        return False
+
+    def _rebuild_bundle(self, shard: int) -> None:
+        """Republish ``shard``'s snapshot bundle into fresh shm segments.
+
+        The parent's own mapped views of the old bundle stay valid even
+        after the segment *names* are gone (the pages live until the last
+        mapping drops), so the frozen baseline can be copied wholesale into
+        a brand-new bundle.  Replacement workers attach the new segments;
+        the oplog replay path is unchanged.
+        """
+        old = self._bundles[shard]
+        replacement = SharedArrayBundle.create(
+            f"repro_s{shard}",
+            {name: old[name] for name in old.array_names()},
+            objects=old.objects,
+        )
+        self._bundles[shard] = replacement
+        self.stats.bundle_rebuilds += 1
+        try:
+            old.unlink()  # releases any segments that *do* still exist
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
     def _respawn(self, shard: int) -> bool:
         """Replace a dead worker: bundle re-attach + oplog replay.
 
         Returns ``True`` once the replacement's ready handshake lands;
         exhausting ``max_respawns`` attempts quarantines the shard and
-        returns ``False``.
+        returns ``False``.  A shard whose shm segments were unlinked under
+        it (an emergency signal cleanup the process then survived) gets its
+        bundle republished from the parent's still-mapped views first.
         """
         if shard in self._quarantined:
             return False
@@ -705,6 +789,8 @@ class ServingEngine:
                 pass
         # Replies in flight on the old pipe are gone with it.
         self._abandoned[shard].clear()
+        if self._segments_missing(shard):
+            self._rebuild_bundle(shard)
         for attempt in range(1, self._max_respawns + 1):
             try:
                 self._spawn_worker(shard)
@@ -720,6 +806,8 @@ class ServingEngine:
                         conn.close()
                     except OSError:  # pragma: no cover
                         pass
+                if self._segments_missing(shard):
+                    self._rebuild_bundle(shard)
                 if attempt < self._max_respawns:
                     time.sleep(self._respawn_backoff * 2 ** (attempt - 1))
                 continue
@@ -1438,12 +1526,22 @@ class ServingEngine:
         else:
             self._shutdown_process_workers()
             _unregister_signal_cleanup(self)
+        if self._recovered is not None:
+            self._recovered.close()
+            self._recovered = None
 
     def _emergency_unlink(self) -> None:
-        """Unlink shm segments without joining workers (signal-handler path)."""
+        """Shed shm segment names without joining workers (signal-handler path).
+
+        Uses :meth:`SharedArrayBundle.release_names`, not ``unlink``: the
+        names must not leak past the process, but the parent's own mapped
+        views must stay valid — if a chained application handler elects to
+        survive the signal, :meth:`_rebuild_bundle` republishes shards from
+        exactly those views.
+        """
         for bundle in getattr(self, "_bundles", None) or []:
             try:
-                bundle.unlink()
+                bundle.release_names()
             except Exception:
                 pass
 

@@ -42,6 +42,16 @@ maintains trussness on every expiry.
 Because the windowed engine *is* a :class:`CTCEngine`, everything else —
 snapshot caching, the delta log, time-travel reads via
 ``query(..., at_version=v)`` — works unchanged on the windowed store.
+
+Durability: ``SlidingWindowEngine(durability=...)`` logs arrivals *and*
+expirations through the normal :meth:`CTCEngine._record` path (expiry is
+just ``remove_edge``), so the WAL replays the exact windowed stream.
+:meth:`CTCEngine.recover` restores the live edge set bit-identically; only
+the *relative insertion order* of the recovered edges is approximated — the
+window bookkeeping is re-seeded in canonical (``repr``-sorted) order, the
+same convention used for initial-graph edges at construction — because the
+per-edge stamps are derived bookkeeping, not persisted state.  The live
+edge set, the store, and every snapshot are exact either way.
 """
 
 from __future__ import annotations
@@ -177,6 +187,22 @@ class SlidingWindowEngine(CTCEngine):
             super().remove_node(node)
             for other in neighbors:
                 self._live.pop(edge_key(node, other), None)
+
+    def _post_recover(self) -> None:
+        """Re-seed the window bookkeeping from the recovered store.
+
+        :meth:`CTCEngine.recover` replays WAL deltas straight onto the
+        graph, bypassing :meth:`add_edge` — so ``_live``/``_fifo`` are
+        empty while the store holds the recovered window.  Stamp every
+        live edge in canonical order (matching the initial-graph
+        convention in ``__init__``) and expire any overflow — relevant
+        when recovering under a *smaller* ``window=`` than the one that
+        produced the log; those expirations are logged like live ones.
+        """
+        self._ensure_store()  # window bookkeeping reads the dict store
+        for key in sorted(self._graph.edges(), key=repr):
+            self._stamp(key)
+        self._expire()
 
     def maintainer(self, k: int) -> KTrussMaintainer:
         """Unsupported: cascades would bypass the window's edge bookkeeping."""

@@ -155,3 +155,37 @@ class ShardUnavailableError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or dataset configuration is inconsistent."""
+
+
+class WalCorruptionError(ReproError):
+    """The write-ahead delta log is damaged beyond safe recovery.
+
+    The WAL recovery reader distinguishes two failure shapes.  A **torn
+    tail** — the final record cut short or failing its checksum, the
+    expected residue of a crash mid-append — is repaired silently by
+    truncating the log back to the last whole record.  Damage anywhere
+    *before* the tail (a checksum mismatch followed by more log bytes, a
+    bad file header, a version gap between consecutive records) cannot be
+    the result of a crashed append; it means the file was corrupted after
+    the fact, and replaying past it could silently resurrect a different
+    graph.  That case must fail loudly with this error instead of serving
+    wrong data.
+
+    Attributes
+    ----------
+    path:
+        The damaged WAL (or checkpoint manifest) file, when known.
+    offset:
+        Byte offset of the damaged record, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.offset = offset

@@ -29,6 +29,7 @@ call.
 
 from __future__ import annotations
 
+import pickle
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass, field
 
@@ -36,9 +37,28 @@ from repro.graph.keys import EdgeKey, edge_key
 
 __all__ = ["GraphDelta"]
 
+#: Pickle protocol pinned for :meth:`GraphDelta.to_bytes`.  Fixing it (rather
+#: than ``HIGHEST_PROTOCOL``) keeps the byte stream — and therefore every WAL
+#: record checksum — identical across the Python versions CI runs.
+_WIRE_PROTOCOL = 4
+
 
 def _canonical(edges: Iterable[tuple[Hashable, Hashable]]) -> frozenset[EdgeKey]:
     return frozenset(edge_key(u, v) for u, v in edges)
+
+
+def _ordered(items: Iterable[Hashable]) -> tuple:
+    """Return ``items`` in the canonical serialization order.
+
+    Sorting by ``repr`` (never by the values themselves) gives one total
+    order over arbitrary mixed-type labels — the same tie-break
+    :func:`~repro.graph.keys.edge_key` and :meth:`CSRGraph.from_graph` use —
+    so a delta built from *unordered* sets always serializes to the same
+    bytes.  Without this, two equal deltas could hash to different WAL
+    checksums purely from set iteration order (e.g. across hash-randomized
+    interpreter runs).
+    """
+    return tuple(sorted(items, key=repr))
 
 
 @dataclass(frozen=True)
@@ -137,6 +157,52 @@ class GraphDelta:
             removed_nodes=self.added_nodes,
             added_edges=self.removed_edges,
             removed_edges=self.added_edges,
+        )
+
+    # ------------------------------------------------------------------
+    # canonical serialization (the WAL wire format)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to canonical bytes: equal deltas give equal bytes.
+
+        The four change sets are emitted as ``repr``-sorted tuples (see
+        :func:`_ordered`) pickled at a pinned protocol, so
+        serialize → deserialize → serialize is byte-stable — the property
+        the write-ahead log's CRC32 checksums depend on.  Labels may be any
+        picklable hashable.
+        """
+        return pickle.dumps(
+            (
+                _ordered(self.added_nodes),
+                _ordered(self.removed_nodes),
+                _ordered(self.added_edges),
+                _ordered(self.removed_edges),
+            ),
+            protocol=_WIRE_PROTOCOL,
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "GraphDelta":
+        """Rebuild a delta from :meth:`to_bytes` output.
+
+        Raises
+        ------
+        ValueError
+            If ``payload`` does not decode to a delta (truncated pickle,
+            wrong shape) — the WAL reader maps this onto its corruption
+            handling.
+        """
+        try:
+            added_nodes, removed_nodes, added_edges, removed_edges = pickle.loads(
+                payload
+            )
+        except Exception as exc:
+            raise ValueError(f"not a serialized GraphDelta: {exc}") from exc
+        return cls(
+            added_nodes=added_nodes,
+            removed_nodes=removed_nodes,
+            added_edges=added_edges,
+            removed_edges=removed_edges,
         )
 
     @staticmethod

@@ -16,9 +16,12 @@ Ownership contract (create → attach → unlink)
 * **Attachers** (workers) call :meth:`SharedArrayBundle.attach` on the
   pickled :attr:`meta` and get read-only array views; they call
   :meth:`close` when done (dropping their mapping, not the segments).
-* Closing with live array views outstanding would raise ``BufferError``
-  from the underlying mmap; :meth:`close` swallows that case — the mapping
-  is then released when the views are garbage-collected.
+* Closing with live array views outstanding is **not** safe: on this
+  interpreter ``mmap.close()`` force-unmaps without honouring numpy's
+  buffer exports, leaving the views dangling (:meth:`close` still swallows
+  the ``BufferError`` some builds raise instead).  Owners that must shed
+  the segment *names* while keeping their views valid — the emergency
+  signal-cleanup path — use :meth:`release_names`.
 
 CPython's ``resource_tracker`` assumes every process that opens a segment
 owns it and "cleans up" (unlinks!) segments still alive at process exit,
@@ -219,7 +222,27 @@ class SharedArrayBundle:
         for segment in self._segments:
             try:
                 segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
+            except FileNotFoundError:
+                pass
+
+    def release_names(self) -> None:
+        """Remove the segment *names* without dropping this process's mapping.
+
+        The emergency signal-cleanup path: the names must not outlive the
+        process (a ``/dev/shm`` leak), but the owner's own array views must
+        stay valid in case a chained signal handler elects to survive —
+        unlike :meth:`close`, which force-unmaps and leaves any outstanding
+        view dangling (``mmap.close()`` does not honour numpy's buffer
+        exports on this interpreter).  The pages live on until the last
+        mapping (ours, or an attached worker's) drops.  Owner only;
+        idempotent — and a later :meth:`unlink` still works.
+        """
+        if not self._owner:
+            raise ValueError("only the creating process may release a bundle")
+        for segment in self._segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
                 pass
 
     def __enter__(self) -> "SharedArrayBundle":

@@ -432,3 +432,205 @@ class TestSignalCleanup:
             if proc.poll() is None:  # pragma: no cover - cleanup on failure
                 proc.kill()
                 proc.wait(timeout=10)
+
+    def test_sigterm_chains_to_application_handler(self):
+        """Cleanup must forward the signal to a previously installed handler.
+
+        The child installs its own SIGTERM handler *before* building the
+        serving engine; after the engine's emergency unlink runs, the
+        re-raise must land in that application handler (which exits with a
+        sentinel code), not in the default die-by-signal disposition.
+        """
+        script = textwrap.dedent(
+            """
+            import signal, sys, time
+            from repro.engine import ServingEngine
+            from repro.graph.generators import erdos_renyi_graph
+            from repro.graph.simple_graph import UndirectedGraph
+
+            def app_handler(signum, frame):
+                print("CHAINED", flush=True)
+                sys.exit(33)
+
+            signal.signal(signal.SIGTERM, app_handler)
+            graph = UndirectedGraph()
+            for base in (0, 100):
+                for u, v in erdos_renyi_graph(15, 0.3, seed=4).edges():
+                    graph.add_edge(base + u, base + v)
+            serving = ServingEngine(graph, workers=2, mode="process")
+            names = [
+                segment_name
+                for bundle in serving._bundles
+                for (segment_name, _, _) in bundle.meta.arrays.values()
+            ]
+            print("SEGMENTS:" + ",".join(names), flush=True)
+            time.sleep(60)
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("SEGMENTS:"), (line, proc.stderr.read())
+            names = line[len("SEGMENTS:"):].strip().split(",")
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=30)
+            output = proc.stdout.read()
+            assert returncode == 33, (returncode, output, proc.stderr.read())
+            assert "CHAINED" in output
+            deadline = time.monotonic() + 10
+            leaked = names
+            while leaked and time.monotonic() < deadline:
+                leaked = [n for n in names if os.path.exists(f"/dev/shm/{n}")]
+                time.sleep(0.1)
+            assert not leaked, f"segments leaked before chaining: {leaked}"
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+class _FakeServingEngine:
+    """Just enough surface for the signal-cleanup registry."""
+
+    def __init__(self):
+        self.unlinks = 0
+
+    def _emergency_unlink(self):
+        self.unlinks += 1
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+class TestSignalHandlerChaining:
+    """Unit-level contracts of the handler install/restore/chain logic.
+
+    These run in the pytest main thread (``signal.signal`` requires it) and
+    restore the process's SIGTERM/SIGINT dispositions on the way out.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _restore_dispositions(self):
+        saved = {
+            signum: signal.getsignal(signum)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
+        yield
+        from repro.engine import serving as serving_module
+
+        with serving_module._signal_lock:
+            serving_module._signal_engines.clear()
+            serving_module._prior_handlers.clear()
+        for signum, handler in saved.items():
+            signal.signal(signum, handler)
+
+    def test_cleanup_runs_then_chains_then_restores(self):
+        from repro.engine import serving as serving_module
+
+        calls = []
+
+        def app_handler(signum, frame):
+            calls.append(signum)
+
+        signal.signal(signal.SIGTERM, app_handler)
+        fake = _FakeServingEngine()
+        serving_module._register_signal_cleanup(fake)
+        assert (
+            signal.getsignal(signal.SIGTERM)
+            is serving_module._signal_cleanup
+        )
+        signal.raise_signal(signal.SIGTERM)
+        assert fake.unlinks == 1
+        assert calls == [signal.SIGTERM]
+        # The prior disposition was restored before the re-raise, so the
+        # app handler is now (and stays) the installed one.
+        assert signal.getsignal(signal.SIGTERM) is app_handler
+
+    def test_registration_is_idempotent(self):
+        from repro.engine import serving as serving_module
+
+        def app_handler(signum, frame):  # pragma: no cover - never raised
+            pass
+
+        signal.signal(signal.SIGTERM, app_handler)
+        first, second = _FakeServingEngine(), _FakeServingEngine()
+        serving_module._register_signal_cleanup(first)
+        serving_module._register_signal_cleanup(second)
+        # Double registration must not capture our own handler as "prior"
+        # (which would make cleanup re-enter itself forever).
+        assert serving_module._prior_handlers[signal.SIGTERM] is app_handler
+
+    def test_rechains_handler_installed_after_ours(self):
+        """An app handler that *replaced* ours becomes the new prior."""
+        from repro.engine import serving as serving_module
+
+        calls = []
+
+        def late_handler(signum, frame):
+            calls.append("late")
+
+        first = _FakeServingEngine()
+        serving_module._register_signal_cleanup(first)
+        signal.signal(signal.SIGTERM, late_handler)  # app wins the slot
+        second = _FakeServingEngine()
+        serving_module._register_signal_cleanup(second)  # re-chains
+        assert serving_module._prior_handlers[signal.SIGTERM] is late_handler
+        signal.raise_signal(signal.SIGTERM)
+        assert first.unlinks == 1 and second.unlinks == 1
+        assert calls == ["late"]
+
+    def test_unregister_restores_prior_when_last_engine_leaves(self):
+        from repro.engine import serving as serving_module
+
+        def app_handler(signum, frame):  # pragma: no cover - never raised
+            pass
+
+        signal.signal(signal.SIGTERM, app_handler)
+        fake = _FakeServingEngine()
+        serving_module._register_signal_cleanup(fake)
+        serving_module._unregister_signal_cleanup(fake)
+        assert signal.getsignal(signal.SIGTERM) is app_handler
+        assert not serving_module._prior_handlers
+
+
+class TestBundleRebuild:
+    def test_respawn_republishes_unlinked_segments(self):
+        """A shard whose shm segments were emergency-unlinked (and whose
+        process then survived the signal) must rebuild the bundle from the
+        parent's still-mapped views on the next respawn."""
+        graph = _components_graph(bases=(0,))
+        oracle = CTCEngine(graph.copy())
+        with ServingEngine(
+            graph, workers=1, mode="process", respawn_backoff=0.01
+        ) as serving:
+            before = serving.query(QUERY, **SEARCH)
+            # Simulate the signal handler's emergency unlink with the
+            # process surviving it (a chained app handler that returned).
+            serving._emergency_unlink()
+            assert serving._segments_missing(0)
+            serving._procs[0].kill()  # the worker must die to force respawn
+            after = serving.query(QUERY, **SEARCH)
+            expected = fingerprint(oracle.query(QUERY, **SEARCH))
+            assert fingerprint(before) == expected
+            assert fingerprint(after) == expected
+            assert serving.stats.bundle_rebuilds == 1
+            assert serving.stats.respawns == 1
+            assert not serving._segments_missing(0)
+
+    def test_healthy_respawn_does_not_rebuild(self):
+        graph = _components_graph(bases=(0,))
+        with ServingEngine(
+            graph, workers=1, mode="process", respawn_backoff=0.01
+        ) as serving:
+            serving._procs[0].kill()
+            result = serving.query(QUERY, **SEARCH)
+            assert not isinstance(result, Exception)
+            assert serving.stats.respawns == 1
+            assert serving.stats.bundle_rebuilds == 0

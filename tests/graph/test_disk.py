@@ -1,0 +1,173 @@
+"""On-disk primitive tests: record framing, manifests, atomic publication.
+
+The torn-tail/mid-log contract under test is the durability layer's
+foundation: damage at the very end of a framed log (a crashed append) is
+reported for silent truncation, damage *followed by more log bytes*
+raises :class:`~repro.exceptions.WalCorruptionError` — a crashed append
+can only shorten the file, so trailing bytes prove the damage is not a
+torn write.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.exceptions import WalCorruptionError
+from repro.graph.disk import (
+    HEADER_SIZE,
+    RECORD_HEADER_SIZE,
+    append_record,
+    file_crc32,
+    pack_record,
+    publish_dir,
+    read_manifest,
+    scan_records,
+    write_manifest,
+)
+
+MAGIC = b"TESTLOG1"
+
+common_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _log(payloads: list[bytes]) -> bytes:
+    handle = io.BytesIO()
+    handle.write(MAGIC)
+    for payload in payloads:
+        append_record(handle, payload)
+    return handle.getvalue()
+
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        payloads = [b"", b"a", b"x" * 1000, bytes(range(256))]
+        data = _log(payloads)
+        parsed, valid = scan_records(data, magic=MAGIC)
+        assert parsed == payloads
+        assert valid == len(data)
+
+    def test_empty_and_partial_header(self):
+        assert scan_records(b"", magic=MAGIC) == ([], 0)
+        # A crash while writing the magic itself: nothing was ever logged.
+        assert scan_records(MAGIC[:3], magic=MAGIC) == ([], 0)
+        assert scan_records(MAGIC, magic=MAGIC) == ([], len(MAGIC))
+
+    def test_wrong_magic_raises(self):
+        with pytest.raises(WalCorruptionError, match="bad log header"):
+            scan_records(b"WRONGMAG" + pack_record(b"x"), magic=MAGIC)
+
+    def test_pack_record_layout(self):
+        record = pack_record(b"abc")
+        assert len(record) == RECORD_HEADER_SIZE + 3
+        assert int.from_bytes(record[:4], "little") == 3
+        assert int.from_bytes(record[4:8], "little") == zlib.crc32(b"abc")
+
+    @pytest.mark.parametrize("cut", range(1, 12))
+    def test_torn_tail_truncated_silently(self, cut):
+        """Any proper prefix of the last record is a torn tail, not corruption."""
+        payloads = [b"first-record", b"second-record"]
+        data = _log(payloads)
+        torn = data[: len(data) - cut]
+        parsed, valid = scan_records(torn, magic=MAGIC)
+        assert parsed == [b"first-record"]
+        assert valid == len(_log([b"first-record"]))
+
+    def test_last_record_payload_damage_is_torn(self):
+        data = bytearray(_log([b"first-record", b"second-record"]))
+        data[-3] ^= 0xFF
+        parsed, valid = scan_records(bytes(data), magic=MAGIC)
+        assert parsed == [b"first-record"]
+
+    def test_midlog_payload_damage_raises(self):
+        data = bytearray(_log([b"first-record", b"second-record"]))
+        data[HEADER_SIZE + RECORD_HEADER_SIZE + 2] ^= 0xFF
+        with pytest.raises(WalCorruptionError, match="checksum mismatch") as exc:
+            scan_records(bytes(data), magic=MAGIC)
+        assert exc.value.offset == HEADER_SIZE
+
+    @common_settings
+    @given(
+        payloads=st.lists(st.binary(min_size=0, max_size=40), min_size=1, max_size=6),
+        cut=st.integers(min_value=0, max_value=500),
+    )
+    def test_truncation_never_raises_and_keeps_a_prefix(self, payloads, cut):
+        """Chopping a clean log anywhere yields a prefix of its records."""
+        data = _log(payloads)
+        torn = data[: max(0, len(data) - cut)]
+        parsed, valid = scan_records(torn, magic=MAGIC)
+        assert parsed == payloads[: len(parsed)]
+        assert valid <= len(torn)
+
+    @common_settings
+    @given(
+        payloads=st.lists(st.binary(min_size=1, max_size=40), min_size=2, max_size=6),
+        data=st.data(),
+    )
+    def test_byte_flip_never_yields_wrong_payloads(self, payloads, data):
+        """A single flipped byte either raises or parses a clean prefix."""
+        log = bytearray(_log(payloads))
+        position = data.draw(st.integers(min_value=0, max_value=len(log) - 1))
+        log[position] ^= 0xFF
+        try:
+            parsed, _ = scan_records(bytes(log), magic=MAGIC)
+        except WalCorruptionError:
+            return
+        # Flips in a length field can consume the rest of the file (the
+        # torn-tail shape); whatever survives must be a clean prefix.
+        assert parsed == payloads[: len(parsed)]
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = {"version": 3, "arrays": {"a": {"crc32": 12}}, "note": "x"}
+        path = tmp_path / "manifest.json"
+        write_manifest(path, manifest)
+        assert read_manifest(path) == manifest
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_manifest(path, {"version": 1})
+        data = bytearray(path.read_bytes())
+        data[-4] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="failed its checksum"):
+            read_manifest(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_manifest(path, {"version": 1, "padding": "y" * 64})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 10])
+        with pytest.raises(ValueError, match="failed its checksum"):
+            read_manifest(path)
+
+    def test_missing_checksum_line(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"version": 1}))
+        with pytest.raises(ValueError, match="no checksum line"):
+            read_manifest(path)
+
+
+class TestPublishDir:
+    def test_atomic_rename(self, tmp_path):
+        staged = tmp_path / "tmp-1"
+        staged.mkdir()
+        (staged / "payload.bin").write_bytes(b"hello")
+        final = tmp_path / "final"
+        publish_dir(staged, final)
+        assert not staged.exists()
+        assert (final / "payload.bin").read_bytes() == b"hello"
+
+    def test_file_crc32_matches_zlib(self, tmp_path):
+        blob = os.urandom(3000)
+        path = tmp_path / "blob.bin"
+        path.write_bytes(blob)
+        assert file_crc32(path, chunk_size=256) == zlib.crc32(blob)

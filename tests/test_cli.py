@@ -294,6 +294,124 @@ class TestSearchCommand:
         assert "trussness:     4" in captured
 
 
+class TestDurabilityFlags:
+    def test_data_dir_requires_engine(self, figure1_file):
+        with pytest.raises(SystemExit, match="--data-dir requires --engine"):
+            main(["search", figure1_file, "--query", "q1", "--data-dir", "/tmp/x"])
+
+    def test_checkpoint_every_requires_data_dir(self, figure1_file):
+        with pytest.raises(SystemExit, match="--checkpoint-every requires --data-dir"):
+            main(
+                ["search", figure1_file, "--query", "q1",
+                 "--engine", "--checkpoint-every", "5"]
+            )
+
+    def test_fsync_requires_data_dir(self, figure1_file):
+        with pytest.raises(SystemExit, match="--fsync requires --data-dir"):
+            main(
+                ["search", figure1_file, "--query", "q1",
+                 "--engine", "--fsync", "always"]
+            )
+
+    def test_recover_requires_data_dir(self, figure1_file):
+        with pytest.raises(SystemExit, match="--recover requires --data-dir"):
+            main(["search", figure1_file, "--query", "q1", "--engine", "--recover"])
+
+    def test_recover_rejects_graph_argument(self, figure1_file, tmp_path):
+        with pytest.raises(SystemExit, match="omit the graph argument"):
+            main(
+                ["search", figure1_file, "--query", "q1", "--engine",
+                 "--data-dir", str(tmp_path / "store"), "--recover"]
+            )
+
+    def test_graph_required_without_recover(self, tmp_path):
+        with pytest.raises(SystemExit, match="edge-list file is required"):
+            main(
+                ["search", "--query", "q1", "--engine",
+                 "--data-dir", str(tmp_path / "store")]
+            )
+
+    def test_data_dir_rejects_process_serving(self, figure1_file, tmp_path):
+        with pytest.raises(SystemExit, match="--data-dir does not combine"):
+            main(
+                ["search", figure1_file, "--query", "q1", "--engine",
+                 "--data-dir", str(tmp_path / "store"),
+                 "--workers", "2", "--serving-mode", "process"]
+            )
+
+    def test_unknown_fsync_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "g.txt", "--query", "a", "--engine",
+                 "--data-dir", "d", "--fsync", "sometimes"]
+            )
+
+    def test_durable_search_reports_wal_stats(self, figure1_file, tmp_path, capsys):
+        exit_code = main(
+            [
+                "search", figure1_file, "--query", "q1", "q2",
+                "--method", "lctc", "--eta", "50",
+                "--engine", "--repeat", "4", "--mutate-every", "2",
+                "--data-dir", str(tmp_path / "store"), "--fsync", "off",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "durability:    fsync=off" in captured
+        assert "appends" in captured
+        assert (tmp_path / "store" / "wal.log").exists()
+
+    def test_recover_round_trip_prints_recovery_footer(
+        self, figure1_file, tmp_path, capsys
+    ):
+        """A durable run followed by --recover serves the same community."""
+        store = str(tmp_path / "store")
+        base = ["--query", "q1", "q2", "--method", "lctc", "--eta", "50",
+                "--engine", "--data-dir", store]
+        assert main(["search", figure1_file] + base + ["--checkpoint-every", "2",
+                    "--repeat", "4", "--mutate-every", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["search"] + base + ["--recover"]) == 0
+        second = capsys.readouterr().out
+        assert "recovery:" in second
+        assert "durability:" in second
+        # Mutations toggle edges an even number of times across the first
+        # run, so the recovered store answers with the same community.
+        def members(output: str) -> list[str]:
+            lines = output.split("members:")[1].splitlines()
+            return [line.strip() for line in lines if line.startswith("  ")]
+
+        assert members(first) == members(second)
+
+    def test_recover_from_wal_only(self, figure1_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = ["--query", "q1", "q2", "--method", "lctc", "--eta", "50",
+                "--engine", "--data-dir", store]
+        assert main(["search", figure1_file] + base) == 0
+        capsys.readouterr()
+        assert main(["search"] + base + ["--recover"]) == 0
+        out = capsys.readouterr().out
+        assert "no checkpoint (WAL only)" in out
+
+    def test_recover_missing_store_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no durable state"):
+            main(
+                ["search", "--query", "q1", "--engine",
+                 "--data-dir", str(tmp_path / "missing"), "--recover"]
+            )
+
+    def test_windowed_durable_recover(self, figure1_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["--query", "q1", "q2", "--method", "lctc", "--eta", "50",
+                "--engine", "--window", "300", "--data-dir", store]
+        assert main(["search", figure1_file] + args) == 0
+        capsys.readouterr()
+        assert main(["search"] + args + ["--recover"]) == 0
+        out = capsys.readouterr().out
+        assert "window:" in out and "/300 live edges" in out
+        assert "recovery:" in out
+
+
 class TestExperimentCommand:
     def test_table2_runs(self, capsys):
         exit_code = main(["experiment", "table2"])
